@@ -1,0 +1,16 @@
+"""Benchmark E-ABL — design-choice ablation sweeps (DESIGN.md section 5).
+
+Not a paper artifact: quantifies the sensitivity of the co-design to the
+selection threshold, pipeline depth, sub-kernel granularity, CPU-fallback
+bound and pool size.
+"""
+
+from repro.experiments import ablations
+
+from conftest import emit
+
+
+def test_ablations(benchmark):
+    """All five ablation sweeps on AlexNet."""
+    text = benchmark.pedantic(ablations.run_all, rounds=1, iterations=1)
+    emit("ablations", text)

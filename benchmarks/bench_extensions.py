@@ -1,0 +1,15 @@
+"""Benchmark E-EXT — extension studies beyond the paper's evaluation.
+
+Multi-stack scaling and the training-vs-inference contrast (see
+repro/experiments/extensions.py).
+"""
+
+from repro.experiments import extensions
+
+from conftest import emit
+
+
+def test_extensions(benchmark):
+    """Multi-stack sweep + inference contrast."""
+    text = benchmark.pedantic(extensions.main, rounds=1, iterations=1)
+    emit("extensions", text)

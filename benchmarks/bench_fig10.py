@@ -1,0 +1,11 @@
+"""Benchmark E-FIG10 — regenerates Figure 10: comparison with Neurocube."""
+
+from repro.experiments import fig10
+
+from conftest import emit
+
+
+def test_fig10(benchmark):
+    """One full regeneration of the Figure 10 artifact."""
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    emit("fig10", fig10.format_result(result))

@@ -1,0 +1,11 @@
+"""Benchmark E-FIG11 — regenerates Figure 11: 3D-memory frequency scaling."""
+
+from repro.experiments import fig11
+
+from conftest import emit
+
+
+def test_fig11(benchmark):
+    """One full regeneration of the Figure 11 artifact."""
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    emit("fig11", fig11.format_result(result))

@@ -1,0 +1,11 @@
+"""Benchmark E-FIG12 — regenerates Figure 12: programmable-PIM scaling (1P/4P/16P)."""
+
+from repro.experiments import fig12
+
+from conftest import emit
+
+
+def test_fig12(benchmark):
+    """One full regeneration of the Figure 12 artifact."""
+    result = benchmark.pedantic(fig12.run, rounds=1, iterations=1)
+    emit("fig12", fig12.format_result(result))

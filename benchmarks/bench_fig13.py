@@ -1,0 +1,11 @@
+"""Benchmark E-FIG13 — regenerates Figure 13: execution time with/without RC and OP."""
+
+from repro.experiments import fig13
+
+from conftest import emit
+
+
+def test_fig13(benchmark):
+    """One full regeneration of the Figure 13 artifact."""
+    result = benchmark.pedantic(fig13.run, rounds=1, iterations=1)
+    emit("fig13", fig13.format_result(result))

@@ -1,0 +1,11 @@
+"""Benchmark E-FIG14 — regenerates Figure 14: energy with/without RC and OP."""
+
+from repro.experiments import fig14
+
+from conftest import emit
+
+
+def test_fig14(benchmark):
+    """One full regeneration of the Figure 14 artifact."""
+    result = benchmark.pedantic(fig14.run, rounds=1, iterations=1)
+    emit("fig14", fig14.format_result(result))

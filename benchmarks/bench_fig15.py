@@ -1,0 +1,11 @@
+"""Benchmark E-FIG15 — regenerates Figure 15: fixed-PIM utilization with RC and OP."""
+
+from repro.experiments import fig15
+
+from conftest import emit
+
+
+def test_fig15(benchmark):
+    """One full regeneration of the Figure 15 artifact."""
+    result = benchmark.pedantic(fig15.run, rounds=1, iterations=1)
+    emit("fig15", fig15.format_result(result))

@@ -1,0 +1,18 @@
+"""Benchmark E-FIG16 — regenerates Figure 16: mixed-workload co-running.
+
+The six co-run cases (CNN x {LSTM, Word2vec}) are by far the heaviest
+simulations in the suite (merged multi-tenant graphs); the benchmark runs
+them once and reports the improvement over sequential execution.
+"""
+
+from repro.experiments import fig16
+
+from conftest import emit
+
+
+def test_fig16(benchmark):
+    """One full regeneration of the Figure 16 artifact (six co-run cases)."""
+    result = benchmark.pedantic(fig16.run, rounds=1, iterations=1)
+    emit("fig16", fig16.format_result(result))
+    for case in result.values():
+        assert case.improvement > 0.4, f"{case.cnn}+{case.non_cnn} regressed"

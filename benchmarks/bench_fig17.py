@@ -1,0 +1,11 @@
+"""Benchmark E-FIG17 — regenerates Figure 17: EDP and power vs PIM frequency."""
+
+from repro.experiments import fig17
+
+from conftest import emit
+
+
+def test_fig17(benchmark):
+    """One full regeneration of the Figure 17 artifact."""
+    result = benchmark.pedantic(fig17.run, rounds=1, iterations=1)
+    emit("fig17", fig17.format_result(result))

@@ -1,0 +1,11 @@
+"""Benchmark E-FIG2 — regenerates Figure 2: four categories of NN training operations."""
+
+from repro.experiments import fig2
+
+from conftest import emit
+
+
+def test_fig2(benchmark):
+    """One full regeneration of the Figure 2 artifact."""
+    result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    emit("fig2", fig2.format_result(result))

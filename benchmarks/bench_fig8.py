@@ -1,0 +1,11 @@
+"""Benchmark E-FIG8 — regenerates Figure 8: execution-time breakdown, 5 models x 5 configs."""
+
+from repro.experiments import fig8
+
+from conftest import emit
+
+
+def test_fig8(benchmark):
+    """One full regeneration of the Figure 8 artifact."""
+    result = benchmark.pedantic(fig8.run, rounds=1, iterations=1)
+    emit("fig8", fig8.format_result(result))

@@ -1,0 +1,11 @@
+"""Benchmark E-FIG9 — regenerates Figure 9: normalized dynamic energy."""
+
+from repro.experiments import fig9
+
+from conftest import emit
+
+
+def test_fig9(benchmark):
+    """One full regeneration of the Figure 9 artifact."""
+    result = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    emit("fig9", fig9.format_result(result))

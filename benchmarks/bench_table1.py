@@ -1,0 +1,11 @@
+"""Benchmark E-TABLE1 — regenerates Table I: operation profiling of VGG-19, AlexNet and DCGAN."""
+
+from repro.experiments import table1
+
+from conftest import emit
+
+
+def test_table1(benchmark):
+    """One full regeneration of the Table I artifact."""
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    emit("table1", table1.format_result(result))

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation.  The rendered rows are printed (visible with ``pytest -s``) and
+saved under ``benchmarks/results/`` so a benchmark run leaves the full set
+of paper-shaped artifacts on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print and persist one experiment's rendered output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")

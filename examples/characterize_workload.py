@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Workload characterization: reproduce the paper's Table I / Figure 2 story.
+
+Profiles one training step on the host CPU with inter-operation parallelism
+disabled (section II-A), prints the top compute-intensive and
+memory-intensive operation types, classifies every type into the paper's
+four categories, and shows which operations the runtime would select for
+offloading.
+
+Usage::
+
+    python examples/characterize_workload.py [model] [coverage]
+"""
+
+import sys
+
+from repro.nn.models import available_models, build_model
+from repro.profiling import OpCategory, WorkloadProfiler, classify_workload
+from repro.runtime import select_candidates
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "vgg-19"
+    coverage = float(sys.argv[2]) if len(sys.argv) > 2 else 0.90
+    if model not in available_models():
+        raise SystemExit(f"unknown model {model!r}")
+
+    graph = build_model(model)
+    profile = WorkloadProfiler().profile(graph)
+
+    print(f"== {model}: one training step on the CPU ==")
+    print(f"step time {profile.step_time_s:.2f} s, "
+          f"main-memory traffic {profile.total_memory_bytes / 1e9:.1f} GB\n")
+
+    print(f"{'Top CI ops':28s} {'time%':>7s} {'#inv':>5s}   "
+          f"{'Top MI ops':28s} {'mem%':>7s} {'#inv':>5s}")
+    for ci, mi in zip(profile.top_compute(5), profile.top_memory(5)):
+        print(f"{ci.op_type:28s} {ci.time_share:7.1%} {ci.invocations:5d}   "
+              f"{mi.op_type:28s} {mi.memory_share:7.1%} {mi.invocations:5d}")
+
+    flops = {}
+    for op in graph.ops:
+        flops[op.op_type] = flops.get(op.op_type, 0) + op.cost.flops
+    classes = classify_workload(profile, flops)
+    print("\nFigure-2 categories:")
+    for category in OpCategory:
+        members = sorted(t for t, c in classes.items() if c is category)
+        if members:
+            print(f"  class {int(category)} ({category.name.lower()}):")
+            print(f"    {', '.join(members)}")
+
+    selection = select_candidates(profile, coverage=coverage)
+    print(f"\nOffload candidates at x={coverage:.0%} "
+          f"(global-index selection, section III-C):")
+    for ranked in selection.ranked:
+        marker = "*" if ranked.op_type in selection.candidate_types else " "
+        print(f"  {marker} {ranked.op_type:32s} global_index="
+              f"{ranked.global_index:3d}  time={ranked.time_s:8.3f}s  "
+              f"mem={ranked.memory_bytes / 1e9:7.2f}GB")
+    print(f"\nselected types cover {selection.time_coverage:.1%} of step time")
+
+
+if __name__ == "__main__":
+    main()

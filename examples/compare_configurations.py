@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Compare one model across the paper's five system configurations.
+
+The Figure-8/9 view for a single workload: per-step time broken into
+operation / data-movement / synchronization, plus dynamic energy normalized
+to Hetero PIM.
+
+Usage::
+
+    python examples/compare_configurations.py [model]
+"""
+
+import sys
+
+from repro.baselines import CONFIGURATION_ORDER, build_configuration
+from repro.nn.models import available_models, build_model
+from repro.sim import simulate
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "dcgan"
+    if model not in available_models():
+        raise SystemExit(f"unknown model {model!r}")
+
+    graph = build_model(model)
+    print(f"== {model} on the five evaluated configurations ==\n")
+
+    results = {}
+    for name in CONFIGURATION_ORDER:
+        config, policy = build_configuration(name)
+        results[name] = simulate(graph, policy, config)
+
+    hetero = results["hetero-pim"]
+    header = (f"{'config':12s} {'step time':>12s} {'op':>10s} {'dm':>10s} "
+              f"{'sync':>10s} {'E_dyn (J)':>10s} {'E norm':>7s} {'vs hetero':>10s}")
+    print(header)
+    print("-" * len(header))
+    for name, r in results.items():
+        b = r.step_breakdown
+        print(
+            f"{name:12s} {r.step_time_s * 1e3:10.2f} ms "
+            f"{b.operation_s * 1e3:8.2f} ms {b.data_movement_s * 1e3:8.2f} ms "
+            f"{b.sync_s * 1e3:8.2f} ms "
+            f"{r.step_dynamic_energy_j:10.3f} "
+            f"{r.step_dynamic_energy_j / hetero.step_dynamic_energy_j:6.2f}x "
+            f"{r.step_time_s / hetero.step_time_s:9.2f}x"
+        )
+
+    print(
+        f"\nHetero PIM fixed-function utilization: "
+        f"{hetero.fixed_pim_utilization:.0%} "
+        f"(pool of 444 vector multiplier/adder pairs)"
+    )
+    print(
+        f"Speedup over CPU {results['cpu'].step_time_s / hetero.step_time_s:.1f}x, "
+        f"over Progr PIM {results['prog-pim'].step_time_s / hetero.step_time_s:.1f}x, "
+        f"over Fixed PIM {results['fixed-pim'].step_time_s / hetero.step_time_s:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

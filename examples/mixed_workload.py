@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Mixed-workload co-running: the paper's Figure 16 / section VI-F study.
+
+Co-runs a CNN model (full heterogeneous system) with a non-CNN tenant
+(restricted to CPU + programmable PIM "when they are idle") and compares
+against sequential time-sharing of the machine.
+
+Usage::
+
+    python examples/mixed_workload.py [cnn] [non_cnn]
+"""
+
+import sys
+
+from repro.experiments.fig16 import run_case
+from repro.nn.models import CNN_MODELS, NON_CNN_MODELS
+
+
+def main() -> None:
+    cnn = sys.argv[1] if len(sys.argv) > 1 else "inception-v3"
+    non_cnn = sys.argv[2] if len(sys.argv) > 2 else "lstm"
+    if cnn not in CNN_MODELS:
+        raise SystemExit(f"cnn must be one of {CNN_MODELS}")
+    if non_cnn not in NON_CNN_MODELS:
+        raise SystemExit(f"non_cnn must be one of {NON_CNN_MODELS}")
+
+    print(f"== co-running {cnn} (full system) with {non_cnn} "
+          f"(CPU + programmable PIM only) ==\n")
+    case = run_case(cnn, non_cnn)
+
+    k = case.non_cnn_steps_per_cnn_step
+    print(f"solo {cnn} step:                {case.solo_cnn_s * 1e3:9.2f} ms")
+    print(f"solo {non_cnn} step (restricted): {case.solo_non_cnn_s * 1e3:9.2f} ms")
+    print(f"tenant rate: {k} {non_cnn} steps per {cnn} step\n")
+    print(f"sequential (time-shared):       {case.sequential_s * 1e3:9.2f} ms")
+    print(f"co-run (this work):             {case.corun_s * 1e3:9.2f} ms")
+    print(f"improvement:                    {case.improvement:+9.0%}")
+    print("\npaper section VI-F reports 69%-83% across its six co-run cases;")
+    print("the win comes from filling CPU/programmable-PIM idle periods that")
+    print("dependences within a single model would otherwise leave unused.")
+
+
+if __name__ == "__main__":
+    main()

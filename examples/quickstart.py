@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: train one AlexNet step on the heterogeneous PIM system.
+
+Builds the training-step graph, runs the full runtime pipeline (device
+initialization, binary generation, step-1 profiling, candidate selection,
+dynamic scheduling) and prints what the paper's evaluation would report for
+this run.
+
+Usage::
+
+    python examples/quickstart.py [model]
+
+``model`` defaults to ``alexnet``; any of the seven paper workloads works
+(vgg-19, alexnet, dcgan, resnet-50, inception-v3, lstm, word2vec).
+"""
+
+import sys
+
+from repro.nn.models import available_models, build_model
+from repro.runtime import HeterogeneousPimRuntime
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "alexnet"
+    if model not in available_models():
+        raise SystemExit(
+            f"unknown model {model!r}; choose from {available_models()}"
+        )
+
+    print(f"Building one training step of {model} ...")
+    graph = build_model(model)
+    print(f"  {graph.num_ops} operations, batch size {graph.batch_size}, "
+          f"dataset {graph.dataset}")
+
+    runtime = HeterogeneousPimRuntime()
+    print("\nPlatform (extended OpenCL mapping):")
+    for device, pes in runtime.device_summary().items():
+        print(f"  {device:16s} {pes:4d} processing elements")
+
+    print("\nCompiling kernels (binary generation, paper Figure 4) ...")
+    kernels = runtime.compile(graph)
+    n_fixed = sum(1 for k in kernels.values() if len(k.binaries) > 1)
+    print(f"  {len(kernels)} kernels, {n_fixed} with PIM binaries")
+
+    print("\nTraining (profile -> select -> schedule -> simulate) ...")
+    result = runtime.train(graph)
+    selection = runtime.last_selection
+    print(f"  offload candidates: {sorted(selection.candidate_types)}")
+    print(f"  selection covers {selection.time_coverage:.0%} of step time "
+          f"(target {selection.target_coverage:.0%})")
+
+    b = result.step_breakdown
+    print(f"\nPer-step results on {result.config_name}:")
+    print(f"  step time          {result.step_time_s * 1e3:10.2f} ms")
+    print(f"    operation        {b.operation_s * 1e3:10.2f} ms")
+    print(f"    data movement    {b.data_movement_s * 1e3:10.2f} ms")
+    print(f"    synchronization  {b.sync_s * 1e3:10.2f} ms")
+    print(f"  dynamic energy     {result.step_dynamic_energy_j:10.2f} J")
+    print(f"  average power      {result.average_power_w:10.1f} W")
+    print(f"  fixed-PIM utilization {result.fixed_pim_utilization:7.0%}")
+
+
+if __name__ == "__main__":
+    main()

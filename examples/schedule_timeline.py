@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Visualize the runtime's schedule as an ASCII Gantt chart.
+
+Runs one model on Hetero PIM with timeline recording enabled and renders
+where every operation executed — the CPU lanes, the programmable PIM, and
+the fixed-function pool — making the operation pipeline's backfilling
+visible.
+
+Usage::
+
+    python examples/schedule_timeline.py [model] [width]
+"""
+
+import sys
+
+from repro.baselines import build_configuration
+from repro.nn.models import available_models, build_model
+from repro.sim.simulation import Simulation
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "dcgan"
+    width = int(sys.argv[2]) if len(sys.argv) > 2 else 100
+    if model not in available_models():
+        raise SystemExit(f"unknown model {model!r}")
+
+    config, policy = build_configuration("hetero-pim")
+    sim = Simulation(build_model(model), policy, config, record_timeline=True)
+    result = sim.run()
+    timeline = sim.timeline
+
+    print(f"== {model} on {result.config_name}: "
+          f"{result.step_time_s * 1e3:.2f} ms/step ==\n")
+    print(timeline.render(width=width))
+
+    print("\nper-device load:")
+    for device in ("cpu", "prog", "fixed"):
+        entries = timeline.on_device(device)
+        if not entries:
+            continue
+        busy = timeline.device_busy_s(device)
+        peak = timeline.concurrency_profile(device)
+        print(f"  {device:6s} {len(entries):5d} tasks, "
+              f"{busy * 1e3:9.2f} ms task-time, peak concurrency {peak}")
+    print(f"\nfixed-pool utilization over its duty window: "
+          f"{result.fixed_pim_utilization:.0%}")
+
+
+if __name__ == "__main__":
+    main()

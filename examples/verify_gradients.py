@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Semantic validation of the graph substrate: numeric gradient checking.
+
+The simulator treats graphs as cost structures, but the same graphs are
+numerically executable: this example builds a small CNN, runs its forward
+AND builder-generated backward operations on real numpy arrays, and
+verifies every parameter gradient against central finite differences of
+the loss — demonstrating that the tape-based backward construction in
+``repro.nn.layers`` computes mathematically correct gradients.
+
+Usage::
+
+    python examples/verify_gradients.py
+"""
+
+from repro.nn.layers import GraphBuilder
+from repro.nn.numeric import NumericExecutor, check_gradients, random_feeds
+
+
+def build_small_cnn():
+    b = GraphBuilder("verify-cnn", batch_size=2)
+    x = b.input((2, 8, 8, 3))
+    h = b.conv2d(x, 4, (3, 3), stride=(2, 2), name="conv1")
+    h2 = b.conv2d(h, 4, (3, 3), activation=None, name="conv2")
+    h = b.relu(b.add(h, h2, name="residual"), name="relu_res")
+    h = b.max_pool(h, (2, 2), (2, 2), name="pool")
+    branch = b.conv2d(h, 2, (1, 1), name="branch")
+    h = b.concat([h, branch], name="concat")
+    h = b.flatten(h)
+    h = b.dense(h, 16, name="fc1")
+    logits = b.dense(h, 5, activation=None, name="logits")
+    b.softmax_loss(logits, 5)
+    return b.finish()
+
+
+def main() -> None:
+    graph = build_small_cnn()
+    print(f"graph: {graph.num_ops} ops "
+          f"(incl. {graph.invocation_counts()['Conv2DBackpropFilter']} "
+          f"Conv2DBackpropFilter, residual AddN merge, concat Slices)")
+
+    feeds = random_feeds(graph, seed=42)
+    executor = NumericExecutor(graph)
+    env = executor.run(feeds)
+    print(f"forward+backward executed numerically; "
+          f"loss = {executor.loss(env):.4f}")
+
+    print("\nchecking every parameter gradient against finite differences:")
+    errors = check_gradients(graph, feeds, samples_per_param=4, seed=42)
+    for name in sorted(errors):
+        print(f"  {name:20s} max relative error {errors[name]:.2e}")
+    print("\nall gradients verified — the backward graphs the simulator "
+          "schedules\nare the mathematically correct ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Processing-in-Memory for Energy-efficient
+Neural Network Training: A Heterogeneous Approach" (MICRO 2018).
+
+Public API tour:
+
+* :mod:`repro.nn` — TensorFlow-flavoured op-graph substrate and model zoo.
+* :mod:`repro.profiling` — workload characterization (paper Table I, Fig 2).
+* :mod:`repro.hardware` — device models: 3D stack, fixed-function PIMs,
+  programmable PIM, host CPU, GPU, power/area/thermal.
+* :mod:`repro.pimcl` — the extended-OpenCL programming model.
+* :mod:`repro.runtime` — profiling-driven scheduler with recursive kernels
+  (RC) and the operation pipeline (OP).
+* :mod:`repro.sim` — discrete-event simulator and metrics.
+* :mod:`repro.baselines` — the five evaluated configurations + Neurocube.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .config import (
+    FREQUENCY_SCALES,
+    PROG_PIM_COUNTS,
+    CPUConfig,
+    FixedPIMConfig,
+    GPUConfig,
+    ProgPIMConfig,
+    RuntimeConfig,
+    StackConfig,
+    SystemConfig,
+    default_config,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CPUConfig",
+    "FREQUENCY_SCALES",
+    "FixedPIMConfig",
+    "GPUConfig",
+    "PROG_PIM_COUNTS",
+    "ProgPIMConfig",
+    "ReproError",
+    "RuntimeConfig",
+    "StackConfig",
+    "SystemConfig",
+    "default_config",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Evaluated system configurations and prior-work comparison points."""
+
+from .configs import (
+    CONFIGURATION_ORDER,
+    CpuPolicy,
+    FixedPimPolicy,
+    GpuPolicy,
+    ProgPimPolicy,
+    build_configuration,
+    make_cpu,
+    make_fixed_pim,
+    make_gpu,
+    make_hetero_pim,
+    make_prog_pim,
+)
+from .neurocube import NEUROCUBE_VAULTS, NeurocubePolicy, make_neurocube
+
+__all__ = [
+    "CONFIGURATION_ORDER",
+    "CpuPolicy",
+    "FixedPimPolicy",
+    "GpuPolicy",
+    "NEUROCUBE_VAULTS",
+    "NeurocubePolicy",
+    "ProgPimPolicy",
+    "build_configuration",
+    "make_cpu",
+    "make_fixed_pim",
+    "make_gpu",
+    "make_hetero_pim",
+    "make_neurocube",
+    "make_prog_pim",
+]

@@ -1,0 +1,151 @@
+"""The five evaluated system configurations (paper section VI).
+
+* **CPU** — all operations on the host processor;
+* **GPU** — all operations on the discrete GPU (GTX 1080 Ti);
+* **Progr PIM** — programmable PIMs only: "as many ARM-based programmable
+  cores as needed by workloads" within the logic-die area, no runtime
+  scheduling;
+* **Fixed PIM** — fixed-function PIMs execute the offloadable operations
+  (host-coordinated, no RC/OP); everything else runs on the CPU;
+* **Hetero PIM** — the full co-design with the profiling-driven runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional, Tuple
+
+from ..config import SystemConfig, default_config
+from ..errors import ReproError
+from ..nn.ops import OffloadClass, Op
+from ..runtime.scheduler import HeteroPimPolicy
+from ..sim.policy import SchedulingPolicy
+
+
+class CpuPolicy(SchedulingPolicy):
+    """All operations on the host CPU (sequential executor)."""
+
+    name = "CPU"
+    cpu_slots = 1
+
+    def placements(self, op: Op) -> Tuple[str, ...]:
+        return ("cpu",)
+
+
+class GpuPolicy(SchedulingPolicy):
+    """All operations on the GPU; minibatches staged over PCIe."""
+
+    name = "GPU"
+    cpu_slots = 1
+    uses_gpu = True
+
+    def placements(self, op: Op) -> Tuple[str, ...]:
+        if op.offload_class is OffloadClass.HOST:
+            return ("cpu",)
+        return ("gpu",)
+
+
+class ProgPimPolicy(SchedulingPolicy):
+    """Programmable PIMs only, no runtime scheduling (paper "Progr PIM").
+
+    Executes operations "on as many ARM-based programmable cores as needed
+    by workloads": a wide operation gangs up to ``prog_gang_limit`` PIMs.
+    """
+
+    name = "Progr PIM"
+    cpu_slots = 1
+    prog_gang_limit = 16
+
+    def placements(self, op: Op) -> Tuple[str, ...]:
+        if op.offload_class is OffloadClass.HOST:
+            return ("cpu",)
+        return ("prog",)
+
+
+class FixedPimPolicy(SchedulingPolicy):
+    """Fixed-function PIMs for offloadable work, CPU for the rest.
+
+    No recursive kernels (every sub-kernel dispatch is a host round trip),
+    no operation pipeline (the pool is exclusive per operation), no
+    profiling-driven selection.
+    """
+
+    name = "Fixed PIM"
+    cpu_slots = 2
+
+    def placements(self, op: Op) -> Tuple[str, ...]:
+        cls = op.offload_class
+        if cls is OffloadClass.FIXED:
+            return ("fixed", "cpu")
+        if cls is OffloadClass.HYBRID:
+            return ("hybrid_host", "cpu")
+        return ("cpu",)
+
+
+def _prog_only_config(base: SystemConfig) -> SystemConfig:
+    """Scale out ARM PIMs "as needed by workloads" (one per bank).
+
+    The paper's Progr-PIM configuration is not area-constrained: it
+    idealizes a cluster per memory bank so that workload-level parallelism
+    is never the limiter — its weakness is per-PIM throughput.
+    """
+    return replace(
+        base,
+        prog_pim=replace(base.prog_pim, n_pims=base.stack.banks),
+        # the pool exists physically unused; keep one unit to satisfy
+        # invariants, it is never scheduled
+        fixed_pim=replace(base.fixed_pim, n_units=1),
+    )
+
+
+def make_cpu(base: SystemConfig) -> Tuple[SystemConfig, SchedulingPolicy]:
+    return base, CpuPolicy()
+
+
+def make_gpu(base: SystemConfig) -> Tuple[SystemConfig, SchedulingPolicy]:
+    return base, GpuPolicy()
+
+
+def make_prog_pim(base: SystemConfig) -> Tuple[SystemConfig, SchedulingPolicy]:
+    return _prog_only_config(base), ProgPimPolicy()
+
+
+def make_fixed_pim(base: SystemConfig) -> Tuple[SystemConfig, SchedulingPolicy]:
+    return base, FixedPimPolicy()
+
+
+def make_hetero_pim(
+    base: SystemConfig,
+    recursive_kernels: bool = True,
+    operation_pipeline: bool = True,
+) -> Tuple[SystemConfig, SchedulingPolicy]:
+    return base, HeteroPimPolicy(
+        recursive_kernels=recursive_kernels,
+        operation_pipeline=operation_pipeline,
+    )
+
+
+_BUILDERS: Dict[str, Callable[[SystemConfig], Tuple[SystemConfig, SchedulingPolicy]]] = {
+    "cpu": make_cpu,
+    "gpu": make_gpu,
+    "prog-pim": make_prog_pim,
+    "fixed-pim": make_fixed_pim,
+    "hetero-pim": make_hetero_pim,
+}
+
+#: Display order used throughout the evaluation figures.
+CONFIGURATION_ORDER = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim")
+
+
+def build_configuration(
+    name: str, base: Optional[SystemConfig] = None
+) -> Tuple[SystemConfig, SchedulingPolicy]:
+    """(config, policy) pair for one of the five evaluated configurations."""
+    if base is None:
+        base = default_config()
+    try:
+        return _BUILDERS[name](base)
+    except KeyError:
+        raise ReproError(
+            f"unknown configuration {name!r}; available: {CONFIGURATION_ORDER}"
+        ) from None

@@ -1,0 +1,68 @@
+"""Neurocube comparison model (paper section VI-C, Figure 10).
+
+Neurocube (Kim et al., ISCA 2016) integrates homogeneous *programmable*
+processing elements — one per HMC vault, each with a small MAC array — in
+the logic die.  Two structural differences from the heterogeneous design
+drive the paper's comparison results:
+
+1. no fixed-function pool: all work runs on the 16 vault PEs, whose
+   aggregate throughput is far below 444 vectorized multiplier/adder pairs;
+2. no runtime scheduling: no recursive kernels, no operation pipeline, no
+   profiling-driven placement.
+
+The PE array is modeled as a 16-PIM programmable cluster whose per-PE MAC
+throughput follows Neurocube's published configuration (one MAC array per
+vault at the stack frequency), scaled by the same calibration margin as the
+rest of the devices (DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from ..config import SystemConfig, default_config
+from ..nn.ops import OffloadClass, Op
+from ..sim.policy import SchedulingPolicy
+
+#: Vault count of the HMC organization Neurocube targets.
+NEUROCUBE_VAULTS = 16
+#: Effective FLOPs per PE per stack cycle (MAC array width x 2, calibrated).
+NEUROCUBE_FLOPS_PER_PE_CYCLE = 256.0
+
+
+class NeurocubePolicy(SchedulingPolicy):
+    """Everything on the homogeneous PE array; host only for bookkeeping."""
+
+    name = "Neurocube"
+    cpu_slots = 1
+    prog_gang_limit = 16
+
+    def placements(self, op: Op) -> Tuple[str, ...]:
+        if op.offload_class is OffloadClass.HOST:
+            return ("cpu",)
+        return ("prog",)
+
+
+def make_neurocube(
+    base: SystemConfig = None,
+) -> Tuple[SystemConfig, SchedulingPolicy]:
+    """(config, policy) for the Neurocube comparison point."""
+    if base is None:
+        base = default_config()
+    config = replace(
+        base,
+        prog_pim=replace(
+            base.prog_pim,
+            name="Neurocube PE array",
+            n_pims=NEUROCUBE_VAULTS,
+            cores_per_pim=1,
+            frequency_hz=base.stack.base_frequency_hz,
+            flops_per_core_cycle=NEUROCUBE_FLOPS_PER_PE_CYCLE,
+            other_flop_penalty=2.0,
+            dynamic_power_w_per_pim=2.8,
+            area_mm2_per_pim=1.5,
+        ),
+        fixed_pim=replace(base.fixed_pim, n_units=1),
+    )
+    return config, NeurocubePolicy()

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one model on one configuration and print the
+  per-step report (optionally with an ASCII schedule timeline);
+* ``profile`` — Table-I style CPU characterization of a model;
+* ``experiment`` — regenerate one paper table/figure by id;
+* ``trace`` — export a model's operation trace to JSON;
+* ``models`` / ``configs`` — list available workloads and configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import experiments
+from .baselines import CONFIGURATION_ORDER, build_configuration, make_neurocube
+from .config import default_config
+from .nn.models import available_models, build_model
+from .profiling import WorkloadProfiler
+from .sim.simulation import Simulation
+from .sim.trace_io import export_trace
+
+EXPERIMENT_IDS = (
+    "table1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "ablations", "extensions",
+    "summary",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous-PIM NN-training reproduction (MICRO 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one model on one configuration")
+    run.add_argument("model", choices=available_models())
+    run.add_argument(
+        "--config", default="hetero-pim",
+        choices=list(CONFIGURATION_ORDER) + ["neurocube"],
+    )
+    run.add_argument("--steps", type=int, default=None,
+                     help="training steps to simulate (default: 3)")
+    run.add_argument("--frequency-scale", type=float, default=1.0,
+                     help="PIM PLL multiplier (paper studies 1/2/4)")
+    run.add_argument("--batch-size", type=int, default=None)
+    run.add_argument("--timeline", action="store_true",
+                     help="print an ASCII schedule timeline")
+
+    profile = sub.add_parser("profile", help="CPU characterization (Table I)")
+    profile.add_argument("model", choices=available_models())
+    profile.add_argument("--top", type=int, default=5)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument("id", choices=EXPERIMENT_IDS)
+
+    trace = sub.add_parser("trace", help="export an operation trace to JSON")
+    trace.add_argument("model", choices=available_models())
+    trace.add_argument("output")
+    trace.add_argument("--steps", type=int, default=1)
+
+    sub.add_parser("models", help="list available training workloads")
+    sub.add_parser("configs", help="list evaluated system configurations")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    base = default_config()
+    if args.frequency_scale != 1.0:
+        base = base.with_frequency_scale(args.frequency_scale)
+    if args.config == "neurocube":
+        config, policy = make_neurocube(base)
+    else:
+        config, policy = build_configuration(args.config, base)
+    graph = build_model(args.model, args.batch_size)
+    sim = Simulation(
+        graph, policy, config, steps=args.steps, record_timeline=args.timeline
+    )
+    result = sim.run()
+    b = result.step_breakdown
+    print(f"{args.model} on {result.config_name} "
+          f"(PLL {args.frequency_scale:g}x, {result.steps} steps)")
+    print(f"  step time          {result.step_time_s * 1e3:10.3f} ms")
+    print(f"    operation        {b.operation_s * 1e3:10.3f} ms")
+    print(f"    data movement    {b.data_movement_s * 1e3:10.3f} ms")
+    print(f"    synchronization  {b.sync_s * 1e3:10.3f} ms")
+    print(f"  dynamic energy     {result.step_dynamic_energy_j:10.3f} J/step")
+    print(f"  average power      {result.average_power_w:10.1f} W")
+    print(f"  EDP                {result.edp():10.5f} J*s")
+    print(f"  pool utilization   {result.fixed_pim_utilization:10.0%}")
+    if args.timeline and sim.timeline is not None:
+        print()
+        print(sim.timeline.render())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    profile = WorkloadProfiler().profile(build_model(args.model))
+    print(f"{args.model}: step {profile.step_time_s:.3f} s, "
+          f"{profile.total_memory_bytes / 1e9:.2f} GB main-memory traffic")
+    print(f"\n{'op type':32s} {'time%':>7s} {'mem%':>7s} {'#inv':>5s}")
+    for t in profile.top_compute(args.top):
+        print(f"{t.op_type:32s} {t.time_share:7.1%} "
+              f"{t.memory_share:7.1%} {t.invocations:5d}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = getattr(experiments, args.id)
+    module.main()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    graph = build_model(args.model)
+    n = export_trace(graph, args.steps, args.output)
+    print(f"wrote {n} task records ({args.steps} steps of {args.model}) "
+          f"to {args.output}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "models":
+        print("\n".join(available_models()))
+        return 0
+    if args.command == "configs":
+        print("\n".join(list(CONFIGURATION_ORDER) + ["neurocube"]))
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

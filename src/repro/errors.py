@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed dataflow graphs (cycles, dangling tensors, ...)."""
+
+
+class ShapeError(GraphError):
+    """Raised when tensor shapes are inconsistent with an operation."""
+
+
+class UnknownOpError(GraphError):
+    """Raised when an operation type is not present in the op registry."""
+
+
+class HardwareConfigError(ReproError):
+    """Raised for physically inconsistent hardware configurations."""
+
+
+class PlacementError(HardwareConfigError):
+    """Raised when fixed-function PIM placement violates the bank budget."""
+
+
+class SchedulingError(ReproError):
+    """Raised when the runtime scheduler reaches an inconsistent state."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event engine for invalid event sequences."""
+
+
+class ProgrammingModelError(ReproError):
+    """Raised for misuse of the extended-OpenCL programming model objects."""
+
+
+class KernelBuildError(ProgrammingModelError):
+    """Raised when kernel binary generation (code extraction) fails."""

@@ -1,0 +1,55 @@
+"""Shared RC/OP ablation runs for Figures 13, 14 and 15 (section VI-E).
+
+The paper isolates the software impact by toggling the two runtime
+techniques: recursive PIM kernel calls (RC) and the operation pipeline
+(OP).  The same four Hetero-PIM variants feed the execution-time (Fig 13),
+energy (Fig 14) and utilization (Fig 15) views; Figures 13/14 additionally
+reference the Fixed-PIM and Progr-PIM hardware baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..baselines import make_hetero_pim
+from ..config import default_config
+from ..sim.results import RunResult
+from ..sim.simulation import simulate
+from .common import cached_graph
+
+#: (label, recursive_kernels, operation_pipeline), presentation order.
+VARIANTS: Tuple[Tuple[str, bool, bool], ...] = (
+    ("no RC/OP", False, False),
+    ("RC", True, False),
+    ("OP", False, True),
+    ("RC+OP", True, True),
+)
+
+_cache: Dict[Tuple[str, str], RunResult] = {}
+
+
+def run_variant(model: str, label: str) -> RunResult:
+    """Simulate ``model`` under one RC/OP variant of Hetero PIM (cached)."""
+    key = (model, label)
+    if key not in _cache:
+        settings = {name: (rc, op) for name, rc, op in VARIANTS}
+        try:
+            rc, op = settings[label]
+        except KeyError:
+            raise ValueError(
+                f"unknown variant {label!r}; options: {sorted(settings)}"
+            ) from None
+        config, policy = make_hetero_pim(
+            default_config(), recursive_kernels=rc, operation_pipeline=op
+        )
+        _cache[key] = simulate(cached_graph(model), policy, config)
+    return _cache[key]
+
+
+def run_all_variants(
+    models: Tuple[str, ...]
+) -> Dict[str, Dict[str, RunResult]]:
+    return {
+        model: {label: run_variant(model, label) for label, _rc, _op in VARIANTS}
+        for model in models
+    }

@@ -1,0 +1,197 @@
+"""Ablation sweeps over the co-design's load-bearing choices.
+
+Beyond the paper's own sensitivity studies (Figures 11/12), these sweeps
+quantify the design decisions DESIGN.md section 5 calls out:
+
+* ``sweep_selection_coverage`` — the x% threshold of the candidate-selection
+  algorithm (the paper fixes x = 90);
+* ``sweep_pipeline_depth`` — how many future steps the operation pipeline
+  may draw backfill work from;
+* ``sweep_subkernel_granularity`` — the micro-kernel size that determines
+  host-launch pressure (what RC amortizes);
+* ``sweep_fallback_limit`` — the profile-aware CPU-fallback slowdown bound
+  realizing scheduling principle 2;
+* ``sweep_fixed_units`` — logic-die design space: pool sizes around the
+  area-derived 444 units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence, Tuple
+
+from ..baselines import make_hetero_pim
+from ..config import default_config
+from ..sim.results import RunResult
+from ..sim.simulation import simulate
+from .common import cached_graph
+from .report import TextTable, format_seconds
+
+
+def _run_hetero(model: str, config) -> RunResult:
+    cfg, policy = make_hetero_pim(config)
+    return simulate(cached_graph(model), policy, cfg)
+
+
+# ---------------------------------------------------------------------------
+# sweeps
+# ---------------------------------------------------------------------------
+def sweep_selection_coverage(
+    model: str = "alexnet",
+    coverages: Sequence[float] = (0.5, 0.7, 0.9, 0.99),
+) -> Dict[float, RunResult]:
+    """Vary the x% offload-coverage threshold of section III-C."""
+    out: Dict[float, RunResult] = {}
+    for x in coverages:
+        config = default_config()
+        config = replace(
+            config, runtime=replace(config.runtime, offload_coverage=x)
+        )
+        out[x] = _run_hetero(model, config)
+    return out
+
+
+def sweep_pipeline_depth(
+    model: str = "alexnet",
+    depths: Sequence[int] = (0, 1, 2, 4),
+) -> Dict[int, RunResult]:
+    """Vary the cross-step lookahead of the operation pipeline."""
+    out: Dict[int, RunResult] = {}
+    for depth in depths:
+        config = default_config()
+        config = replace(
+            config, runtime=replace(config.runtime, pipeline_depth=depth)
+        )
+        out[depth] = _run_hetero(model, config)
+    return out
+
+
+def sweep_subkernel_granularity(
+    model: str = "alexnet",
+    quotas: Sequence[float] = (10e6, 50e6, 250e6, 1e12),
+) -> Dict[float, Tuple[RunResult, RunResult]]:
+    """Vary the loadable micro-kernel size; returns (with RC, without RC).
+
+    Finer granularity inflates host-launch counts, which is precisely the
+    overhead recursive kernels amortize — the gap between the pair widens
+    as the quota shrinks.
+    """
+    out: Dict[float, Tuple[RunResult, RunResult]] = {}
+    for quota in quotas:
+        config = default_config()
+        config = replace(
+            config, fixed_pim=replace(config.fixed_pim, subkernel_macs=quota)
+        )
+        cfg_rc, pol_rc = make_hetero_pim(config, recursive_kernels=True)
+        cfg_no, pol_no = make_hetero_pim(config, recursive_kernels=False)
+        out[quota] = (
+            simulate(cached_graph(model), pol_rc, cfg_rc),
+            simulate(cached_graph(model), pol_no, cfg_no),
+        )
+    return out
+
+
+def sweep_fallback_limit(
+    model: str = "alexnet",
+    limits: Sequence[float] = (1.0, 2.0, 4.0, 16.0, 1e9),
+) -> Dict[float, RunResult]:
+    """Vary the profile-aware CPU-fallback slowdown bound (principle 2).
+
+    A bound of ~1 forbids almost all host stealing; an unbounded limit
+    reproduces the naive fallback that drags slow operations to the CPU.
+    """
+    out: Dict[float, RunResult] = {}
+    for limit in limits:
+        config = default_config()
+        config = replace(
+            config,
+            runtime=replace(
+                config.runtime, cpu_fallback_slowdown_limit=limit
+            ),
+        )
+        out[limit] = _run_hetero(model, config)
+    return out
+
+
+def sweep_fixed_units(
+    model: str = "alexnet",
+    unit_counts: Sequence[int] = (111, 222, 444, 888),
+) -> Dict[int, RunResult]:
+    """Design-space sweep around the area-derived 444-unit pool."""
+    out: Dict[int, RunResult] = {}
+    for units in unit_counts:
+        config = default_config()
+        config = replace(
+            config, fixed_pim=replace(config.fixed_pim, n_units=units)
+        )
+        out[units] = _run_hetero(model, config)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+def format_sweep(
+    title: str, results: Dict, key_label: str
+) -> str:
+    table = TextTable([key_label, "Step time", "E_dyn (J)", "Pool util"])
+    for key, result in results.items():
+        if isinstance(result, tuple):  # (with RC, without RC)
+            rc, no_rc = result
+            table.add_row(
+                key,
+                f"{format_seconds(rc.step_time_s)} / "
+                f"{format_seconds(no_rc.step_time_s)} (no RC)",
+                rc.step_dynamic_energy_j,
+                f"{rc.fixed_pim_utilization:.0%}",
+            )
+        else:
+            table.add_row(
+                key,
+                format_seconds(result.step_time_s),
+                result.step_dynamic_energy_j,
+                f"{result.fixed_pim_utilization:.0%}",
+            )
+    return f"== {title} ==\n{table.render()}"
+
+
+def run_all(model: str = "alexnet") -> str:
+    """Run every ablation for one model and render the report."""
+    blocks = [
+        format_sweep(
+            f"{model}: selection coverage (x%)",
+            sweep_selection_coverage(model),
+            "coverage",
+        ),
+        format_sweep(
+            f"{model}: operation-pipeline depth",
+            sweep_pipeline_depth(model),
+            "depth",
+        ),
+        format_sweep(
+            f"{model}: sub-kernel granularity (MACs/launch, RC vs no RC)",
+            sweep_subkernel_granularity(model),
+            "quota",
+        ),
+        format_sweep(
+            f"{model}: CPU-fallback slowdown limit",
+            sweep_fallback_limit(model),
+            "limit",
+        ),
+        format_sweep(
+            f"{model}: fixed-function pool size",
+            sweep_fixed_units(model),
+            "units",
+        ),
+    ]
+    return "\n\n".join(blocks)
+
+
+def main() -> str:
+    text = run_all()
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

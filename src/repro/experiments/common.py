@@ -1,0 +1,64 @@
+"""Shared experiment plumbing: cached model builds and simulation runs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..baselines import build_configuration, make_neurocube
+from ..config import SystemConfig, default_config
+from ..nn.graph import Graph
+from ..nn.models import build_model
+from ..sim.results import RunResult
+from ..sim.simulation import simulate
+
+#: The five CNN models of the main evaluation, in figure order.
+EVAL_MODELS = ("vgg-19", "alexnet", "dcgan", "resnet-50", "inception-v3")
+
+#: The five system configurations, in figure order.
+EVAL_CONFIGS = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim")
+
+_graph_cache: Dict[Tuple[str, Optional[int]], Graph] = {}
+_run_cache: Dict[Tuple, RunResult] = {}
+
+
+def cached_graph(model: str, batch_size: Optional[int] = None) -> Graph:
+    """Build (or fetch) the training-step graph for ``model``."""
+    key = (model, batch_size)
+    if key not in _graph_cache:
+        _graph_cache[key] = build_model(model, batch_size)
+    return _graph_cache[key]
+
+
+def run_model_on(
+    model: str,
+    config_name: str,
+    base: Optional[SystemConfig] = None,
+    steps: Optional[int] = None,
+    cache_key: Optional[Tuple] = None,
+) -> RunResult:
+    """Simulate ``model`` on one named configuration (cached).
+
+    ``cache_key`` must uniquely identify any non-default ``base``; passing a
+    modified config without a key disables caching for that run.
+    """
+    key = None
+    if base is None:
+        key = (model, config_name, steps)
+    elif cache_key is not None:
+        key = (model, config_name, steps) + tuple(cache_key)
+    if key is not None and key in _run_cache:
+        return _run_cache[key]
+    if config_name == "neurocube":
+        config, policy = make_neurocube(base if base is not None else default_config())
+    else:
+        config, policy = build_configuration(config_name, base)
+    result = simulate(cached_graph(model), policy, config, steps=steps)
+    if key is not None:
+        _run_cache[key] = result
+    return result
+
+
+def clear_caches() -> None:
+    """Drop cached graphs and runs (used by tests that mutate configs)."""
+    _graph_cache.clear()
+    _run_cache.clear()

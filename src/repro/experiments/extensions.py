@@ -1,0 +1,155 @@
+"""Extension studies beyond the paper's evaluation.
+
+Two forward-looking questions the paper leaves open:
+
+* **Multi-stack scaling** — the evaluation uses one memory stack; modern
+  interposers carry several.  ``run_multistack`` scales the heterogeneous
+  PIM to 1/2/4 stacks (each with its own 444 units and programmable PIM)
+  and reports how far training throughput follows.
+* **Training vs inference** — the paper's core argument is that *training*
+  needs heterogeneity (complex backward operations dominate: ~2/3 of the
+  FLOPs), while inference is mostly plain MAC work.  ``run_inference_contrast``
+  strips the models to their forward pass and quantifies the contrast; one
+  measured nuance is that pure-forward graphs are *more* sensitive to
+  kernel-launch overheads (their fixed-function chains have no complex
+  phases to hide launches behind), so recursive kernels matter for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..baselines import make_hetero_pim
+from ..config import default_config
+from ..nn.inference import backward_share, derive_inference_graph
+from ..sim.results import RunResult
+from ..sim.simulation import simulate
+from .common import cached_graph
+from .report import TextTable, format_seconds
+
+STACK_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+
+# ---------------------------------------------------------------------------
+# multi-stack scaling
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MultiStackCell:
+    n_stacks: int
+    step_time_s: float
+    speedup_vs_1: float
+    dynamic_energy_j: float
+
+
+def run_multistack(
+    models: Tuple[str, ...] = ("vgg-19", "resnet-50"),
+    stack_counts: Sequence[int] = STACK_COUNTS,
+) -> Dict[str, Dict[int, MultiStackCell]]:
+    out: Dict[str, Dict[int, MultiStackCell]] = {}
+    for model in models:
+        times: Dict[int, RunResult] = {}
+        for n in stack_counts:
+            config = default_config().with_stacks(n)
+            cfg, policy = make_hetero_pim(config)
+            times[n] = simulate(cached_graph(model), policy, cfg)
+        base = times[stack_counts[0]].step_time_s
+        out[model] = {
+            n: MultiStackCell(
+                n_stacks=n,
+                step_time_s=r.step_time_s,
+                speedup_vs_1=base / r.step_time_s,
+                dynamic_energy_j=r.step_dynamic_energy_j,
+            )
+            for n, r in times.items()
+        }
+    return out
+
+
+def format_multistack(result: Dict[str, Dict[int, MultiStackCell]]) -> str:
+    table = TextTable(
+        ["Model", "Stacks", "Step time", "Speedup vs 1", "E_dyn (J)"]
+    )
+    for model, row in result.items():
+        for n, cell in row.items():
+            table.add_row(
+                model, n, format_seconds(cell.step_time_s),
+                f"{cell.speedup_vs_1:.2f}x", cell.dynamic_energy_j,
+            )
+    return table.render()
+
+
+# ---------------------------------------------------------------------------
+# training vs inference
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class InferenceContrast:
+    model: str
+    backward_flop_share: float
+    train_step_s: float
+    infer_step_s: float
+    train_rc_gain: float
+    infer_rc_gain: float
+
+
+def _rc_gain(graph) -> Tuple[float, float]:
+    """(step time with RC+OP, RC+OP gain over bare hardware)."""
+    cfg_on, pol_on = make_hetero_pim(default_config())
+    cfg_off, pol_off = make_hetero_pim(
+        default_config(), recursive_kernels=False, operation_pipeline=False
+    )
+    on = simulate(graph, pol_on, cfg_on)
+    off = simulate(graph, pol_off, cfg_off)
+    return on.step_time_s, off.step_time_s / on.step_time_s
+
+
+def run_inference_contrast(
+    models: Tuple[str, ...] = ("vgg-19", "alexnet", "dcgan"),
+) -> Dict[str, InferenceContrast]:
+    out: Dict[str, InferenceContrast] = {}
+    for model in models:
+        train_graph = cached_graph(model)
+        infer_graph = derive_inference_graph(train_graph)
+        train_s, train_gain = _rc_gain(train_graph)
+        infer_s, infer_gain = _rc_gain(infer_graph)
+        out[model] = InferenceContrast(
+            model=model,
+            backward_flop_share=backward_share(train_graph),
+            train_step_s=train_s,
+            infer_step_s=infer_s,
+            train_rc_gain=train_gain,
+            infer_rc_gain=infer_gain,
+        )
+    return out
+
+
+def format_inference_contrast(result: Dict[str, InferenceContrast]) -> str:
+    table = TextTable(
+        ["Model", "Backward FLOP share", "Train step", "Infer step",
+         "RC+OP gain (train)", "RC+OP gain (infer)"]
+    )
+    for model, row in result.items():
+        table.add_row(
+            model,
+            f"{row.backward_flop_share:.0%}",
+            format_seconds(row.train_step_s),
+            format_seconds(row.infer_step_s),
+            f"{row.train_rc_gain:.2f}x",
+            f"{row.infer_rc_gain:.2f}x",
+        )
+    return table.render()
+
+
+def main() -> str:
+    text = (
+        "== multi-stack scaling (extension) ==\n"
+        + format_multistack(run_multistack())
+        + "\n\n== training vs inference (extension) ==\n"
+        + format_inference_contrast(run_inference_contrast())
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

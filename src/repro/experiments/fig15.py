@@ -1,0 +1,71 @@
+"""Experiment E-F15 — paper Figure 15: fixed-PIM utilization with RC & OP.
+
+Average utilization of the fixed-function pool (busy units over the duty
+window) under the four runtime variants.  Paper findings: RC alone raises
+utilization by up to 66% (VGG-19); OP adds up to a further 18% (AlexNet);
+with both, utilization approaches 100%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .ablation import VARIANTS, run_all_variants
+from .common import EVAL_MODELS
+from .report import TextTable
+
+
+@dataclass(frozen=True)
+class Fig15Model:
+    model: str
+    utilization: Dict[str, float]
+
+    @property
+    def rc_gain(self) -> float:
+        """Relative utilization improvement from RC alone."""
+        base = self.utilization["no RC/OP"]
+        return self.utilization["RC"] / base - 1.0 if base > 0 else 0.0
+
+    @property
+    def op_gain_over_rc(self) -> float:
+        """Further relative improvement from adding OP on top of RC."""
+        rc = self.utilization["RC"]
+        return self.utilization["RC+OP"] / rc - 1.0 if rc > 0 else 0.0
+
+
+def run(models: Tuple[str, ...] = EVAL_MODELS) -> Dict[str, Fig15Model]:
+    variants = run_all_variants(models)
+    return {
+        model: Fig15Model(
+            model=model,
+            utilization={
+                label: variants[model][label].fixed_pim_utilization
+                for label, _rc, _op in VARIANTS
+            },
+        )
+        for model in models
+    }
+
+
+def format_result(result: Dict[str, Fig15Model]) -> str:
+    order = [label for label, _r, _o in VARIANTS]
+    table = TextTable(["Model"] + order + ["RC gain", "OP gain over RC"])
+    for model, data in result.items():
+        table.add_row(
+            model,
+            *[f"{data.utilization[k] * 100:.0f}%" for k in order],
+            f"{data.rc_gain * 100:+.0f}%",
+            f"{data.op_gain_over_rc * 100:+.0f}%",
+        )
+    return table.render()
+
+
+def main() -> str:
+    text = format_result(run())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Experiment E-F16 — paper Figure 16: mixed-workload co-running.
+
+Six co-run cases pair a CNN model with a non-CNN model (LSTM / Word2vec,
+section VI-F).  Under the paper's arrangement the CNN uses the full
+heterogeneous system while the non-CNN model runs on the CPU and the
+programmable PIM when they are idle.
+
+Methodology (multi-tenant throughput): during one co-run window the CNN
+executes one training step while the non-CNN model trains continuously
+(``k`` of its steps, where ``k`` balances the two solo durations — the
+natural rate ratio of the tenants).  *Sequential execution* time-shares the
+machine: the same work takes the sum of the solo durations.  The reported
+improvement is ``t_sequential / t_corun - 1``; the paper observes 69-83%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..nn.graph import Graph, merge_graphs
+from ..nn.models import build_model
+from ..runtime.scheduler import MixedWorkloadPolicy
+from ..sim.simulation import simulate
+from .common import cached_graph, run_model_on
+from .report import TextTable, format_seconds
+
+#: The six co-run cases.
+PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("vgg-19", "lstm"),
+    ("vgg-19", "word2vec"),
+    ("resnet-50", "lstm"),
+    ("resnet-50", "word2vec"),
+    ("inception-v3", "lstm"),
+    ("inception-v3", "word2vec"),
+)
+
+
+@dataclass(frozen=True)
+class Fig16Case:
+    cnn: str
+    non_cnn: str
+    non_cnn_steps_per_cnn_step: int
+    solo_cnn_s: float
+    solo_non_cnn_s: float
+    corun_s: float
+    sequential_s: float
+
+    @property
+    def improvement(self) -> float:
+        """Speedup of co-running over sequential execution (paper: 69-83%)."""
+        return self.sequential_s / self.corun_s - 1.0
+
+
+def _replicated_non_cnn(non_cnn: str, replicas: int) -> Tuple[Graph, ...]:
+    graphs = []
+    for i in range(replicas):
+        g = build_model(non_cnn)
+        g.name = f"{non_cnn}#{i}"
+        graphs.append(g)
+    return tuple(graphs)
+
+
+def _solo_restricted_s(non_cnn: str) -> float:
+    """Solo step time of the non-CNN model on CPU + programmable PIM only
+    (the resource class the runtime assigns co-run tenants)."""
+    graph = cached_graph(non_cnn)
+    policy = MixedWorkloadPolicy(frozenset({graph.name}), restrict_untagged=True)
+    return simulate(graph, policy).step_time_s
+
+
+#: Fraction of the idle-capacity rate the runtime grants the tenant; the
+#: margin avoids head-of-line blocking of the primary model's CPU/prog work.
+TENANT_LOAD_FACTOR = 0.8
+
+
+def run_case(cnn: str, non_cnn: str) -> Fig16Case:
+    """Simulate one co-run case."""
+    solo_cnn = run_model_on(cnn, "hetero-pim").step_time_s
+    solo_non = _solo_restricted_s(non_cnn)
+    k = max(1, round(TENANT_LOAD_FACTOR * solo_cnn / solo_non))
+    replicas = _replicated_non_cnn(non_cnn, k)
+    restricted = frozenset(g.name for g in replicas)
+    merged = merge_graphs(f"{cnn}+{k}x{non_cnn}", (cached_graph(cnn),) + replicas)
+    policy = MixedWorkloadPolicy(restricted)
+    corun = simulate(merged, policy)
+    sequential = solo_cnn + k * solo_non
+    return Fig16Case(
+        cnn=cnn,
+        non_cnn=non_cnn,
+        non_cnn_steps_per_cnn_step=k,
+        solo_cnn_s=solo_cnn,
+        solo_non_cnn_s=solo_non,
+        corun_s=corun.step_time_s,
+        sequential_s=sequential,
+    )
+
+
+def run(pairs: Tuple[Tuple[str, str], ...] = PAIRS) -> Dict[str, Fig16Case]:
+    return {f"{cnn}+{non}": run_case(cnn, non) for cnn, non in pairs}
+
+
+def format_result(result: Dict[str, Fig16Case]) -> str:
+    table = TextTable(
+        ["Co-run case", "k", "Solo CNN", "Solo non-CNN", "Sequential",
+         "Co-run", "Improvement"]
+    )
+    for name, case in result.items():
+        table.add_row(
+            name,
+            case.non_cnn_steps_per_cnn_step,
+            format_seconds(case.solo_cnn_s),
+            format_seconds(case.solo_non_cnn_s),
+            format_seconds(case.sequential_s),
+            format_seconds(case.corun_s),
+            f"{case.improvement * 100:+.0f}%",
+        )
+    return table.render()
+
+
+def main() -> str:
+    text = format_result(run())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

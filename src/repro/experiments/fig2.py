@@ -1,0 +1,69 @@
+"""Experiment E-F2 — paper Figure 2: four categories of training operations.
+
+Classifies every operation type of the characterized models into the
+paper's four buckets: (1) compute-intensive, (2) compute- and
+memory-intensive (the offload targets), (3) memory-intensive-only
+("unusual"), and (4) negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..profiling import OpCategory, WorkloadProfiler, classify_workload
+from .common import cached_graph
+from .report import TextTable
+from .table1 import TABLE1_MODELS
+
+
+@dataclass(frozen=True)
+class Fig2Model:
+    model: str
+    categories: Dict[str, OpCategory]
+
+    def members(self, category: OpCategory) -> Tuple[str, ...]:
+        return tuple(
+            sorted(t for t, c in self.categories.items() if c is category)
+        )
+
+
+def run(models: Tuple[str, ...] = TABLE1_MODELS) -> Dict[str, Fig2Model]:
+    profiler = WorkloadProfiler()
+    out: Dict[str, Fig2Model] = {}
+    for model in models:
+        graph = cached_graph(model)
+        profile = profiler.profile(graph)
+        flops_by_type: Dict[str, int] = {}
+        for op in graph.ops:
+            flops_by_type[op.op_type] = (
+                flops_by_type.get(op.op_type, 0) + op.cost.flops
+            )
+        out[model] = Fig2Model(
+            model=model,
+            categories=classify_workload(profile, flops_by_type),
+        )
+    return out
+
+
+def format_result(result: Dict[str, Fig2Model]) -> str:
+    table = TextTable(["Model", "Category", "Operation types"])
+    for model, data in result.items():
+        for category in OpCategory:
+            members = data.members(category)
+            table.add_row(
+                model,
+                f"{int(category)}: {category.name.lower()}",
+                ", ".join(members) if members else "(none)",
+            )
+    return table.render()
+
+
+def main() -> str:
+    text = format_result(run())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Experiment E-T1 — paper Table I: operation profiling results.
+
+Profiles one training step of VGG-19, AlexNet and DCGAN on the host CPU
+(inter-op parallelism disabled) and reports the top-5 compute-intensive
+(CI, by execution time) and top-5 memory-intensive (MI, by main-memory
+accesses) operation types with their shares and invocation counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..profiling import WorkloadProfile, WorkloadProfiler
+from .common import cached_graph
+from .report import TextTable
+
+#: Models characterized in Table I.
+TABLE1_MODELS = ("vgg-19", "alexnet", "dcgan")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    rank: int
+    op_type: str
+    share: float
+    invocations: int
+
+
+@dataclass(frozen=True)
+class Table1Model:
+    """One model's Table I block."""
+
+    model: str
+    top_compute: Tuple[Table1Row, ...]
+    top_memory: Tuple[Table1Row, ...]
+    other_time_share: float
+    other_memory_share: float
+    profile: WorkloadProfile
+
+
+def run(models: Tuple[str, ...] = TABLE1_MODELS) -> Dict[str, Table1Model]:
+    """Produce the Table I characterization for ``models``."""
+    profiler = WorkloadProfiler()
+    out: Dict[str, Table1Model] = {}
+    for model in models:
+        profile = profiler.profile(cached_graph(model))
+        ci = [
+            Table1Row(i + 1, t.op_type, t.time_share, t.invocations)
+            for i, t in enumerate(profile.top_compute(5))
+        ]
+        mi = [
+            Table1Row(i + 1, t.op_type, t.memory_share, t.invocations)
+            for i, t in enumerate(profile.top_memory(5))
+        ]
+        out[model] = Table1Model(
+            model=model,
+            top_compute=tuple(ci),
+            top_memory=tuple(mi),
+            other_time_share=1.0 - sum(r.share for r in ci),
+            other_memory_share=1.0 - sum(r.share for r in mi),
+            profile=profile,
+        )
+    return out
+
+
+def format_result(result: Dict[str, Table1Model]) -> str:
+    blocks: List[str] = []
+    for model, data in result.items():
+        table = TextTable(
+            ["Top CI Ops", "Time(%)", "#Inv", "|", "Top MI Ops", "Mem(%)", "#Inv"]
+        )
+        for ci, mi in zip(data.top_compute, data.top_memory):
+            table.add_row(
+                f"{ci.rank}. {ci.op_type}", f"{ci.share * 100:.2f}", ci.invocations,
+                "|",
+                f"{mi.rank}. {mi.op_type}", f"{mi.share * 100:.2f}", mi.invocations,
+            )
+        table.add_row(
+            "Other ops", f"{data.other_time_share * 100:.2f}",
+            sum(t.invocations for t in data.profile.by_type)
+            - sum(r.invocations for r in data.top_compute),
+            "|",
+            "Other ops", f"{data.other_memory_share * 100:.2f}",
+            sum(t.invocations for t in data.profile.by_type)
+            - sum(r.invocations for r in data.top_memory),
+        )
+        blocks.append(f"== {model} ==\n{table.render()}")
+    return "\n\n".join(blocks)
+
+
+def main() -> str:
+    text = format_result(run())
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

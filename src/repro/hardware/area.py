@@ -1,0 +1,105 @@
+"""Logic-die area/power design-space exploration (paper section IV-D).
+
+The paper sizes the fixed-function PIM pool with McPAT + HotSpot +
+Synopsys-derived unit areas: "the total number of allowed fixed-function
+PIMs is limited by the area of the logic die", yielding 444
+multiplier/adder pairs next to one ARM programmable PIM.  This module
+reproduces that derivation as an explicit model so the 444 figure is a
+*result*, not an input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import FixedPIMConfig, ProgPIMConfig
+from ..errors import HardwareConfigError
+
+
+@dataclass(frozen=True)
+class LogicDieBudget:
+    """Area and power envelope of the 3D stack's logic die.
+
+    Attributes:
+        die_area_mm2: Total logic-die area (HMC-class stack).
+        compute_area_fraction: Fraction usable for PIM logic after memory
+            controllers, TSV landing pads, SerDes and routing.
+        power_budget_w: Sustainable logic-die power under the stack's
+            thermal envelope.
+    """
+
+    die_area_mm2: float = 68.0
+    compute_area_fraction: float = 0.424
+    power_budget_w: float = 92.0
+
+    @property
+    def compute_area_mm2(self) -> float:
+        return self.die_area_mm2 * self.compute_area_fraction
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored configuration of the logic die."""
+
+    n_prog_pims: int
+    n_fixed_units: int
+    area_used_mm2: float
+    power_used_w: float
+
+    def feasible(self, budget: LogicDieBudget) -> bool:
+        return (
+            self.area_used_mm2 <= budget.compute_area_mm2 + 1e-9
+            and self.power_used_w <= budget.power_budget_w + 1e-9
+        )
+
+
+def max_fixed_units(
+    budget: LogicDieBudget,
+    fixed: FixedPIMConfig,
+    prog: ProgPIMConfig,
+    n_prog_pims: int = 1,
+) -> DesignPoint:
+    """Largest fixed-function pool fitting beside ``n_prog_pims`` ARM PIMs.
+
+    Returns the area-limited or power-limited design point, whichever binds
+    first.  With the default budget this reproduces the paper's 444 units.
+    """
+    if n_prog_pims < 0:
+        raise HardwareConfigError("n_prog_pims must be >= 0")
+    prog_area = n_prog_pims * prog.area_mm2_per_pim
+    prog_power = n_prog_pims * prog.dynamic_power_w_per_pim
+    area_left = budget.compute_area_mm2 - prog_area
+    power_left = budget.power_budget_w - prog_power
+    if area_left < 0 or power_left < 0:
+        raise HardwareConfigError(
+            f"{n_prog_pims} programmable PIMs exceed the logic-die budget"
+        )
+    by_area = int(area_left / fixed.area_mm2_per_unit)
+    by_power = int(power_left / (fixed.mw_per_unit / 1000.0))
+    n_units = min(by_area, by_power)
+    return DesignPoint(
+        n_prog_pims=n_prog_pims,
+        n_fixed_units=n_units,
+        area_used_mm2=prog_area + n_units * fixed.area_mm2_per_unit,
+        power_used_w=prog_power + n_units * fixed.mw_per_unit / 1000.0,
+    )
+
+
+def explore_prog_pim_tradeoff(
+    budget: LogicDieBudget,
+    fixed: FixedPIMConfig,
+    prog: ProgPIMConfig,
+    max_prog_pims: int = 16,
+) -> list:
+    """Sweep the programmable-PIM count at constant die area (Figure 12).
+
+    Each extra ARM PIM displaces fixed-function units; the returned design
+    points quantify the trade the paper studies with 1P / 4P / 16P.
+    """
+    points = []
+    for n in range(1, max_prog_pims + 1):
+        try:
+            points.append(max_fixed_units(budget, fixed, prog, n))
+        except HardwareConfigError:
+            break
+    return points

@@ -1,0 +1,127 @@
+"""HMC-class DRAM timing model: deriving the stack's internal bandwidth.
+
+`StackConfig.internal_bandwidth` (320 GB/s) is not a free constant: this
+module derives it from HMC 2.0-style bank timing — the same style of
+derivation the paper gets from adopting "HMC 2.0 timing parameters and
+configurations" (section V-A).  Each of the 32 banks owns a TSV column with
+a fixed data width clocked at the stack frequency (DDR), and sustains that
+rate only while streaming within open rows; row turnarounds (tRP + tRCD)
+and random accesses cut into it.
+
+The module exposes streaming and random-access bandwidths per bank and for
+the whole stack, so tests can assert that the configured
+``internal_bandwidth`` is consistent with the timing parameters instead of
+trusting a magic number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import StackConfig
+from ..errors import HardwareConfigError
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Bank-level timing of the stacked DRAM (HMC 2.0 flavour).
+
+    All times in nanoseconds; the data path is DDR at the stack clock.
+
+    Attributes:
+        t_rcd_ns: Row-to-column delay (activate -> first read).
+        t_cas_ns: Column access latency.
+        t_rp_ns: Row precharge time.
+        t_ras_ns: Minimum row-active time.
+        row_bytes: Open-row (page) size per bank.
+        bus_bytes: Per-bank TSV data-bus width in bytes.
+        burst_bytes: Bytes delivered per column command.
+        interleave_ways: DRAM banks interleaved behind one TSV column
+            (HMC vaults hold many banks); turnarounds of one bank hide
+            behind transfers of the others.
+    """
+
+    t_rcd_ns: float = 13.75
+    t_cas_ns: float = 13.75
+    t_rp_ns: float = 13.75
+    t_ras_ns: float = 27.5
+    row_bytes: int = 256
+    bus_bytes: int = 16
+    burst_bytes: int = 64
+    interleave_ways: int = 4
+
+    def __post_init__(self) -> None:
+        for field_name in ("t_rcd_ns", "t_cas_ns", "t_rp_ns", "t_ras_ns"):
+            if getattr(self, field_name) <= 0:
+                raise HardwareConfigError(f"{field_name} must be positive")
+        if self.row_bytes < self.burst_bytes:
+            raise HardwareConfigError("row must hold at least one burst")
+
+    @property
+    def t_rc_ns(self) -> float:
+        """Row cycle time: activate-to-activate on the same bank."""
+        return self.t_ras_ns + self.t_rp_ns
+
+
+class DramBandwidthModel:
+    """Derives achievable bandwidths from timings + stack configuration."""
+
+    def __init__(self, stack: StackConfig, timings: DramTimings = DramTimings()):
+        self.stack = stack
+        self.timings = timings
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_bank_bandwidth(self) -> float:
+        """TSV-limited per-bank rate: bus width x DDR at the base clock.
+
+        The DRAM arrays are clocked independently of the logic-die PLL, so
+        the base frequency (not the scaled one) applies.
+        """
+        return self.timings.bus_bytes * 2 * self.stack.base_frequency_hz
+
+    def streaming_bank_bandwidth(self) -> float:
+        """Sustained rate while streaming rows sequentially.
+
+        Streaming a full row takes row_bytes / peak; switching to the next
+        row costs tRP + tRCD.  With ``interleave_ways`` DRAM banks behind
+        the TSV column, a row turnaround overlaps the other banks'
+        transfers and only the un-hidden remainder stalls the bus.
+        """
+        transfer_s = self.timings.row_bytes / self.peak_bank_bandwidth
+        turnaround_s = (self.timings.t_rp_ns + self.timings.t_rcd_ns) * 1e-9
+        hidden_s = transfer_s * (self.timings.interleave_ways - 1)
+        exposed_s = max(0.0, turnaround_s - hidden_s)
+        return self.timings.row_bytes / (transfer_s + exposed_s)
+
+    def random_bank_bandwidth(self) -> float:
+        """Rate when every burst opens a new row (worst case)."""
+        access_s = (
+            self.timings.t_rcd_ns + self.timings.t_cas_ns + self.timings.t_rp_ns
+        ) * 1e-9 + self.timings.burst_bytes / self.peak_bank_bandwidth
+        return self.timings.burst_bytes / access_s
+
+    # ------------------------------------------------------------------
+    def streaming_stack_bandwidth(self) -> float:
+        return self.streaming_bank_bandwidth() * self.stack.banks
+
+    def random_stack_bandwidth(self) -> float:
+        return self.random_bank_bandwidth() * self.stack.banks
+
+    def effective_stack_bandwidth(self, row_hit_fraction: float = 0.9) -> float:
+        """Blend of streaming and random access for a given row-hit rate."""
+        if not 0.0 <= row_hit_fraction <= 1.0:
+            raise HardwareConfigError(
+                f"row_hit_fraction must be in [0, 1]: {row_hit_fraction}"
+            )
+        stream = self.streaming_stack_bandwidth()
+        rand = self.random_stack_bandwidth()
+        return row_hit_fraction * stream + (1 - row_hit_fraction) * rand
+
+    def consistency_ratio(self) -> float:
+        """Configured internal bandwidth over the derived streaming rate.
+
+        Should be close to (and never above) 1: the configuration may be
+        conservative, but must not promise more than the timing allows.
+        """
+        return self.stack.internal_bandwidth / self.streaming_stack_bandwidth()

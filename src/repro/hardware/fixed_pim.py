@@ -1,0 +1,109 @@
+"""Fixed-function PIM pool: a divisible, time-shared compute resource.
+
+The pool models the 444 multiplier/adder pairs as a single allocatable
+resource (the paper's OpenCL mapping makes all fixed-function PIMs one
+compute device).  Kernels request units up to their parallelism; with the
+operation-pipeline technique enabled several kernels hold units
+concurrently, and a kernel may *expand* onto units released by others
+("an operation can dynamically change its usage of PIMs", section III-C).
+
+The pool integrates busy unit-seconds over time, which is exactly the
+quantity behind the paper's Figure 15 utilization results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import SchedulingError
+
+
+@dataclass
+class FixedPIMPool:
+    """Allocation state + busy-time integral of the fixed-function pool."""
+
+    n_units: int
+    _allocations: Dict[str, int] = field(default_factory=dict)
+    _last_time: float = 0.0
+    _busy_unit_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_units < 1:
+            raise SchedulingError("fixed-function pool needs at least one unit")
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    @property
+    def busy_units(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_units(self) -> int:
+        return self.n_units - self.busy_units
+
+    def holding(self, kernel_id: str) -> int:
+        """Units currently held by ``kernel_id`` (0 if none)."""
+        return self._allocations.get(kernel_id, 0)
+
+    def allocate(self, kernel_id: str, want: int, now: float) -> int:
+        """Grant up to ``want`` units to a new kernel; returns the grant.
+
+        A grant of 0 means the pool is fully busy and the kernel must wait.
+        """
+        if kernel_id in self._allocations:
+            raise SchedulingError(f"kernel {kernel_id!r} already holds units")
+        if want < 1:
+            raise SchedulingError(f"kernel {kernel_id!r} requested {want} units")
+        granted = min(want, self.free_units)
+        if granted > 0:
+            self._integrate(now)
+            self._allocations[kernel_id] = granted
+        return granted
+
+    def expand(self, kernel_id: str, want_total: int, now: float) -> int:
+        """Grow an existing allocation toward ``want_total``; returns the
+        new holding.  Used by the operation pipeline when units free up."""
+        held = self._allocations.get(kernel_id)
+        if held is None:
+            raise SchedulingError(f"kernel {kernel_id!r} holds no units to expand")
+        extra = min(max(0, want_total - held), self.free_units)
+        if extra > 0:
+            self._integrate(now)
+            self._allocations[kernel_id] = held + extra
+        return self._allocations[kernel_id]
+
+    def release(self, kernel_id: str, now: float) -> int:
+        """Release all units held by ``kernel_id``; returns the freed count."""
+        if kernel_id not in self._allocations:
+            raise SchedulingError(f"kernel {kernel_id!r} holds no units")
+        self._integrate(now)  # account busy time before dropping the units
+        return self._allocations.pop(kernel_id)
+
+    # ------------------------------------------------------------------
+    # utilization accounting
+    # ------------------------------------------------------------------
+    def _integrate(self, now: float) -> None:
+        if now < self._last_time:
+            raise SchedulingError(
+                f"time went backwards: {now} < {self._last_time}"
+            )
+        self._busy_unit_seconds += self.busy_units * (now - self._last_time)
+        self._last_time = now
+
+    def busy_unit_seconds(self, now: float) -> float:
+        """Cumulative busy unit-seconds up to ``now``."""
+        self._integrate(now)
+        return self._busy_unit_seconds
+
+    def utilization(self, start: float, end: float, busy_at_start: float) -> float:
+        """Average pool utilization over [start, end].
+
+        ``busy_at_start`` is the integral snapshot taken at ``start`` via
+        :meth:`busy_unit_seconds`.
+        """
+        if end <= start:
+            raise SchedulingError("utilization window must have positive length")
+        window = self.busy_unit_seconds(end) - busy_at_start
+        return window / (self.n_units * (end - start))

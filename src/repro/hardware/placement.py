@@ -1,0 +1,92 @@
+"""Thermal-aware placement of fixed-function PIMs on the logic die.
+
+Paper section IV-D: the 444 multiplier/adder pairs cannot be distributed
+evenly over the 32 banks; banks at the edge and corner of the die have
+better thermal-dissipation paths, so they receive more units than central
+banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import PlacementError
+from .hmc import BankZone, StackGeometry
+
+#: Relative compute-density capacity per thermal zone.  Corner banks can
+#: sustain ~30% more logic activity than central banks, edges ~15% more —
+#: consistent with the integrated thermal analysis the paper cites [17].
+ZONE_WEIGHTS: Dict[BankZone, float] = {
+    BankZone.CORNER: 1.30,
+    BankZone.EDGE: 1.15,
+    BankZone.CENTER: 1.00,
+}
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Assignment of fixed-function PIM units to banks."""
+
+    units_per_bank: List[int]
+
+    @property
+    def total_units(self) -> int:
+        return sum(self.units_per_bank)
+
+    def units_in(self, bank_index: int) -> int:
+        try:
+            return self.units_per_bank[bank_index]
+        except IndexError:
+            raise PlacementError(f"bank {bank_index} not in placement") from None
+
+
+def place_fixed_pims(geometry: StackGeometry, n_units: int) -> Placement:
+    """Distribute ``n_units`` over the banks, favouring cool zones.
+
+    Uses largest-remainder apportionment over the zone weights so the
+    result is deterministic and sums exactly to ``n_units``.
+    """
+    if n_units < 0:
+        raise PlacementError(f"cannot place {n_units} units")
+    banks = geometry.banks
+    weights = [ZONE_WEIGHTS[b.zone] for b in banks]
+    total_weight = sum(weights)
+    shares = [n_units * w / total_weight for w in weights]
+    floors = [int(s) for s in shares]
+    remainder = n_units - sum(floors)
+    # hand out the leftover units to the largest fractional remainders,
+    # breaking ties toward cooler (higher-weight) banks then lower index
+    order = sorted(
+        range(len(banks)),
+        key=lambda i: (shares[i] - floors[i], weights[i], -i),
+        reverse=True,
+    )
+    for i in order[:remainder]:
+        floors[i] += 1
+    placement = Placement(units_per_bank=floors)
+    if placement.total_units != n_units:
+        raise PlacementError(
+            f"placement produced {placement.total_units} units, wanted {n_units}"
+        )
+    return placement
+
+
+def validate_thermal(placement: Placement, geometry: StackGeometry) -> None:
+    """Check that no central bank carries more units than any corner bank.
+
+    This is the invariant behind the paper's placement policy; violating it
+    would put the highest compute density on the worst dissipation path.
+    """
+    banks = geometry.banks
+    corner_units = [
+        placement.units_in(b.index) for b in banks if b.zone is BankZone.CORNER
+    ]
+    center_units = [
+        placement.units_in(b.index) for b in banks if b.zone is BankZone.CENTER
+    ]
+    if corner_units and center_units and max(center_units) > min(corner_units):
+        raise PlacementError(
+            "thermal policy violated: a central bank carries more "
+            "fixed-function PIMs than a corner bank"
+        )

@@ -1,0 +1,61 @@
+"""Programmable-PIM cluster state: kernel slots + busy-time integral.
+
+Each programmable PIM (a 4-core ARM Cortex-A9) executes one kernel at a
+time with intra-op parallelism across its cores; a system may carry several
+programmable PIMs (the 1P/4P/16P study of section VI-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from ..errors import SchedulingError
+
+
+@dataclass
+class ProgPIMCluster:
+    """Occupancy state of the programmable PIM(s)."""
+
+    n_pims: int
+    _busy: Set[str] = field(default_factory=set)
+    _last_time: float = 0.0
+    _busy_pim_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_pims < 1:
+            raise SchedulingError("at least one programmable PIM required")
+
+    @property
+    def busy_pims(self) -> int:
+        return len(self._busy)
+
+    @property
+    def free_pims(self) -> int:
+        return self.n_pims - self.busy_pims
+
+    def acquire(self, kernel_id: str, now: float) -> bool:
+        """Claim a programmable PIM for ``kernel_id``; False if all busy."""
+        if kernel_id in self._busy:
+            raise SchedulingError(f"kernel {kernel_id!r} already on a prog PIM")
+        if not self.free_pims:
+            return False
+        self._integrate(now)
+        self._busy.add(kernel_id)
+        return True
+
+    def release(self, kernel_id: str, now: float) -> None:
+        if kernel_id not in self._busy:
+            raise SchedulingError(f"kernel {kernel_id!r} not on a prog PIM")
+        self._integrate(now)
+        self._busy.remove(kernel_id)
+
+    def _integrate(self, now: float) -> None:
+        if now < self._last_time:
+            raise SchedulingError(f"time went backwards: {now} < {self._last_time}")
+        self._busy_pim_seconds += self.busy_pims * (now - self._last_time)
+        self._last_time = now
+
+    def busy_pim_seconds(self, now: float) -> float:
+        self._integrate(now)
+        return self._busy_pim_seconds

@@ -1,0 +1,27 @@
+"""Neural-network training substrate: op graphs, cost model, model zoo."""
+
+from .graph import Graph, merge_graphs
+from .inference import backward_share, derive_inference_graph
+from .numeric import NumericExecutor, check_gradients, random_feeds
+from .layers import Activation, GraphBuilder
+from .ops import OffloadClass, Op, OpCost, OpTypeInfo, OP_TYPES, op_type_info
+from .tensor import TensorSpec
+
+__all__ = [
+    "Activation",
+    "NumericExecutor",
+    "backward_share",
+    "check_gradients",
+    "derive_inference_graph",
+    "random_feeds",
+    "Graph",
+    "GraphBuilder",
+    "OffloadClass",
+    "Op",
+    "OpCost",
+    "OpTypeInfo",
+    "OP_TYPES",
+    "TensorSpec",
+    "merge_graphs",
+    "op_type_info",
+]

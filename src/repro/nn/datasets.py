@@ -1,0 +1,60 @@
+"""Training-dataset shape specifications (paper section V-C).
+
+The paper trains on ImageNet (VGG-19, AlexNet, ResNet-50, Inception-v3),
+MNIST (DCGAN), Penn Tree Bank (LSTM) and the TensorFlow "questions-words"
+dataset (Word2vec).  The reproduction only needs minibatch *shapes* — the
+simulator never touches pixel values — so each dataset is a small spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape-level description of a training dataset.
+
+    Attributes:
+        name: Dataset identifier.
+        sample_shape: Shape of one training sample (without batch dim).
+        num_classes: Label cardinality (0 for unlabeled/generative data).
+        vocab_size: Vocabulary size for text datasets (0 otherwise).
+    """
+
+    name: str
+    sample_shape: Tuple[int, ...]
+    num_classes: int = 0
+    vocab_size: int = 0
+
+    def batch_shape(self, batch_size: int) -> Tuple[int, ...]:
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        return (batch_size,) + self.sample_shape
+
+
+IMAGENET = DatasetSpec("imagenet", sample_shape=(224, 224, 3), num_classes=1000)
+#: Inception-v3 uses the 299x299 ImageNet crop.
+IMAGENET_299 = DatasetSpec("imagenet-299", sample_shape=(299, 299, 3), num_classes=1000)
+MNIST = DatasetSpec("mnist", sample_shape=(28, 28, 1), num_classes=10)
+PTB = DatasetSpec("ptb", sample_shape=(35,), vocab_size=10000)
+QUESTIONS_WORDS = DatasetSpec(
+    "questions-words", sample_shape=(1,), vocab_size=50000
+)
+
+DATASETS: Mapping[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (IMAGENET, IMAGENET_299, MNIST, PTB, QUESTIONS_WORDS)
+}
+
+#: Default training batch sizes (paper section V-C).
+DEFAULT_BATCH_SIZES: Mapping[str, int] = {
+    "vgg-19": 32,
+    "alexnet": 32,
+    "inception-v3": 32,
+    "resnet-50": 128,
+    "dcgan": 64,
+    "lstm": 20,
+    "word2vec": 128,
+}

@@ -1,0 +1,94 @@
+"""Inference-graph derivation from training graphs.
+
+The paper motivates its design with *training*'s heterogeneity: backward
+operations are the complex, memory-hungry ones, and prior PIM accelerators
+that only target inference cannot handle them (section VII).  This module
+makes that contrast measurable: :func:`derive_inference_graph` strips a
+training-step graph down to its forward pass so the same runtime and
+simulator can quantify how much easier inference is to offload.
+
+Forward operations are identified structurally: an operation belongs to
+the inference graph iff it produces no gradient tensor (the builder names
+every backward output ``grad/...``), performs no parameter update, and is
+not a loss computation.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..errors import GraphError
+from .graph import Graph
+from .ops import Op
+
+#: Loss op types removed along with the backward pass.
+_LOSS_OP_TYPES = frozenset(
+    {"SparseSoftmaxCrossEntropyWithLogits", "NceLoss"}
+)
+
+
+def is_forward_op(op: Op) -> bool:
+    """True when ``op`` belongs to the forward (inference) pass."""
+    if op.attrs.get("param_written") is not None:
+        return False
+    if op.op_type in _LOSS_OP_TYPES:
+        return False
+    if any(out.startswith("grad/") for out in op.outputs):
+        return False
+    # the builder emits loss-flavoured ops (e.g. the GAN sigmoid loss)
+    # under a layer whose outputs include a gradient seed
+    return True
+
+
+def derive_inference_graph(graph: Graph, name_suffix: str = "-inference") -> Graph:
+    """Build the forward-only version of a training-step graph.
+
+    The result contains exactly the forward operations with their original
+    costs and tensors; parameters remain as external inputs (no optimizer).
+    Dropout ops are kept (treating them as inference-time identity/MC
+    dropout); their cost is negligible either way.
+    """
+    forward_ops = [op for op in graph.topological_order() if is_forward_op(op)]
+    if not forward_ops:
+        raise GraphError(f"graph {graph.name!r} has no forward operations")
+    kept: Set[str] = {op.name for op in forward_ops}
+
+    out = Graph(
+        name=graph.name + name_suffix,
+        batch_size=graph.batch_size,
+        dataset=graph.dataset,
+        input_bytes=graph.input_bytes,
+    )
+    needed_tensors: Set[str] = set()
+    for op in forward_ops:
+        needed_tensors.update(op.inputs)
+        needed_tensors.update(op.outputs)
+    for tname in needed_tensors:
+        out.add_tensor(graph.tensor(tname))
+    for op in forward_ops:
+        # drop control deps pointing at removed (backward) ops
+        attrs = dict(op.attrs)
+        if "control_deps" in attrs:
+            deps = tuple(d for d in map(str, attrs["control_deps"]) if d in kept)
+            attrs["control_deps"] = deps
+        out.add_op(
+            Op(
+                name=op.name,
+                op_type=op.op_type,
+                inputs=op.inputs,
+                outputs=op.outputs,
+                cost=op.cost,
+                attrs=attrs,
+            )
+        )
+    out.validate()
+    return out
+
+
+def backward_share(graph: Graph) -> float:
+    """Fraction of the training step's FLOPs spent in the backward pass."""
+    total = graph.total_cost().flops
+    if total == 0:
+        return 0.0
+    forward = sum(op.cost.flops for op in graph.ops if is_forward_op(op))
+    return 1.0 - forward / total

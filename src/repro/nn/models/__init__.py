@@ -1,0 +1,75 @@
+"""Model zoo: the paper's seven training workloads (section V-C).
+
+Every builder returns a :class:`~repro.nn.graph.Graph` describing one
+training step (forward + backward + optimizer) at the paper's default batch
+size; :func:`build_model` is the name-based entry point used by experiments
+and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ...errors import ReproError
+from ..datasets import DEFAULT_BATCH_SIZES
+from ..graph import Graph
+from .alexnet import build_alexnet
+from .dcgan import build_dcgan
+from .inception import build_inception_v3
+from .lstm import build_lstm
+from .resnet import build_resnet50
+from .vgg import build_vgg19
+from .word2vec import build_word2vec
+
+_BUILDERS: Dict[str, Callable[[int], Graph]] = {
+    "vgg-19": build_vgg19,
+    "alexnet": build_alexnet,
+    "dcgan": build_dcgan,
+    "resnet-50": build_resnet50,
+    "inception-v3": build_inception_v3,
+    "lstm": build_lstm,
+    "word2vec": build_word2vec,
+}
+
+#: The five CNN models of the main evaluation (Figures 8-15).
+CNN_MODELS = ("vgg-19", "alexnet", "dcgan", "resnet-50", "inception-v3")
+#: The non-CNN co-run partners of the mixed-workload study (Figure 16).
+NON_CNN_MODELS = ("lstm", "word2vec")
+ALL_MODELS = CNN_MODELS + NON_CNN_MODELS
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`build_model`."""
+    return sorted(_BUILDERS)
+
+
+def build_model(name: str, batch_size: Optional[int] = None) -> Graph:
+    """Build one training step of ``name`` at ``batch_size``.
+
+    ``batch_size=None`` selects the paper's default (section V-C).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZES[name]
+    return builder(batch_size)
+
+
+__all__ = [
+    "ALL_MODELS",
+    "CNN_MODELS",
+    "NON_CNN_MODELS",
+    "available_models",
+    "build_alexnet",
+    "build_dcgan",
+    "build_inception_v3",
+    "build_lstm",
+    "build_model",
+    "build_resnet50",
+    "build_vgg19",
+    "build_word2vec",
+]

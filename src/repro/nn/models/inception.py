@@ -1,0 +1,126 @@
+"""Inception-v3 training graph (Szegedy et al., 2016).
+
+Stem + 3x Inception-A + reduction-A + 4x Inception-B + reduction-B +
+2x Inception-C modules over 299x299 inputs, with batch normalization after
+every convolution.  Branches concatenate along channels, so the backward
+pass produces the Slice populations characteristic of branched models.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..datasets import IMAGENET_299
+from ..graph import Graph
+from ..layers import Activation, GraphBuilder
+
+
+def _conv_bn(
+    b: GraphBuilder,
+    x: Activation,
+    filters: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int] = (1, 1),
+    padding: str = "SAME",
+    name: str = "conv",
+) -> Activation:
+    h = b.conv2d(x, filters, kernel, stride=stride, padding=padding,
+                 activation=None, use_bias=False, name=name)
+    h = b.batch_norm(h, name=f"{name}/bn")
+    return b.relu(h, name=f"{name}/relu")
+
+
+def _inception_a(b: GraphBuilder, x: Activation, pool_ch: int, name: str) -> Activation:
+    b1 = _conv_bn(b, x, 64, (1, 1), name=f"{name}/b1x1")
+    b2 = _conv_bn(b, x, 48, (1, 1), name=f"{name}/b5x5_1")
+    b2 = _conv_bn(b, b2, 64, (5, 5), name=f"{name}/b5x5_2")
+    b3 = _conv_bn(b, x, 64, (1, 1), name=f"{name}/b3x3_1")
+    b3 = _conv_bn(b, b3, 96, (3, 3), name=f"{name}/b3x3_2")
+    b3 = _conv_bn(b, b3, 96, (3, 3), name=f"{name}/b3x3_3")
+    b4 = b.avg_pool(x, (3, 3), (1, 1), padding="SAME", name=f"{name}/pool")
+    b4 = _conv_bn(b, b4, pool_ch, (1, 1), name=f"{name}/bpool")
+    return b.concat([b1, b2, b3, b4], name=f"{name}/concat")
+
+
+def _reduction_a(b: GraphBuilder, x: Activation, name: str) -> Activation:
+    b1 = _conv_bn(b, x, 384, (3, 3), stride=(2, 2), padding="VALID",
+                  name=f"{name}/b3x3")
+    b2 = _conv_bn(b, x, 64, (1, 1), name=f"{name}/b3x3dbl_1")
+    b2 = _conv_bn(b, b2, 96, (3, 3), name=f"{name}/b3x3dbl_2")
+    b2 = _conv_bn(b, b2, 96, (3, 3), stride=(2, 2), padding="VALID",
+                  name=f"{name}/b3x3dbl_3")
+    b3 = b.max_pool(x, (3, 3), (2, 2), padding="VALID", name=f"{name}/pool")
+    return b.concat([b1, b2, b3], name=f"{name}/concat")
+
+
+def _inception_b(b: GraphBuilder, x: Activation, mid: int, name: str) -> Activation:
+    b1 = _conv_bn(b, x, 192, (1, 1), name=f"{name}/b1x1")
+    b2 = _conv_bn(b, x, mid, (1, 1), name=f"{name}/b7x7_1")
+    b2 = _conv_bn(b, b2, mid, (1, 7), name=f"{name}/b7x7_2")
+    b2 = _conv_bn(b, b2, 192, (7, 1), name=f"{name}/b7x7_3")
+    b3 = _conv_bn(b, x, mid, (1, 1), name=f"{name}/b7x7dbl_1")
+    b3 = _conv_bn(b, b3, mid, (7, 1), name=f"{name}/b7x7dbl_2")
+    b3 = _conv_bn(b, b3, mid, (1, 7), name=f"{name}/b7x7dbl_3")
+    b3 = _conv_bn(b, b3, mid, (7, 1), name=f"{name}/b7x7dbl_4")
+    b3 = _conv_bn(b, b3, 192, (1, 7), name=f"{name}/b7x7dbl_5")
+    b4 = b.avg_pool(x, (3, 3), (1, 1), padding="SAME", name=f"{name}/pool")
+    b4 = _conv_bn(b, b4, 192, (1, 1), name=f"{name}/bpool")
+    return b.concat([b1, b2, b3, b4], name=f"{name}/concat")
+
+
+def _reduction_b(b: GraphBuilder, x: Activation, name: str) -> Activation:
+    b1 = _conv_bn(b, x, 192, (1, 1), name=f"{name}/b3x3_1")
+    b1 = _conv_bn(b, b1, 320, (3, 3), stride=(2, 2), padding="VALID",
+                  name=f"{name}/b3x3_2")
+    b2 = _conv_bn(b, x, 192, (1, 1), name=f"{name}/b7x7x3_1")
+    b2 = _conv_bn(b, b2, 192, (1, 7), name=f"{name}/b7x7x3_2")
+    b2 = _conv_bn(b, b2, 192, (7, 1), name=f"{name}/b7x7x3_3")
+    b2 = _conv_bn(b, b2, 192, (3, 3), stride=(2, 2), padding="VALID",
+                  name=f"{name}/b7x7x3_4")
+    b3 = b.max_pool(x, (3, 3), (2, 2), padding="VALID", name=f"{name}/pool")
+    return b.concat([b1, b2, b3], name=f"{name}/concat")
+
+
+def _inception_c(b: GraphBuilder, x: Activation, name: str) -> Activation:
+    b1 = _conv_bn(b, x, 320, (1, 1), name=f"{name}/b1x1")
+    b2 = _conv_bn(b, x, 384, (1, 1), name=f"{name}/b3x3_1")
+    b2a = _conv_bn(b, b2, 384, (1, 3), name=f"{name}/b3x3_2a")
+    b2b = _conv_bn(b, b2, 384, (3, 1), name=f"{name}/b3x3_2b")
+    b3 = _conv_bn(b, x, 448, (1, 1), name=f"{name}/b3x3dbl_1")
+    b3 = _conv_bn(b, b3, 384, (3, 3), name=f"{name}/b3x3dbl_2")
+    b3a = _conv_bn(b, b3, 384, (1, 3), name=f"{name}/b3x3dbl_3a")
+    b3b = _conv_bn(b, b3, 384, (3, 1), name=f"{name}/b3x3dbl_3b")
+    b4 = b.avg_pool(x, (3, 3), (1, 1), padding="SAME", name=f"{name}/pool")
+    b4 = _conv_bn(b, b4, 192, (1, 1), name=f"{name}/bpool")
+    return b.concat([b1, b2a, b2b, b3a, b3b, b4], name=f"{name}/concat")
+
+
+def build_inception_v3(batch_size: int = 32) -> Graph:
+    """Build one Inception-v3 training step over 299x299 inputs."""
+    b = GraphBuilder(
+        "inception-v3", batch_size=batch_size, dataset=IMAGENET_299.name
+    )
+    x = b.input(IMAGENET_299.batch_shape(batch_size))
+    # stem
+    x = _conv_bn(b, x, 32, (3, 3), stride=(2, 2), padding="VALID", name="stem1")
+    x = _conv_bn(b, x, 32, (3, 3), padding="VALID", name="stem2")
+    x = _conv_bn(b, x, 64, (3, 3), name="stem3")
+    x = b.max_pool(x, (3, 3), (2, 2), padding="VALID", name="stem_pool1")
+    x = _conv_bn(b, x, 80, (1, 1), name="stem4")
+    x = _conv_bn(b, x, 192, (3, 3), padding="VALID", name="stem5")
+    x = b.max_pool(x, (3, 3), (2, 2), padding="VALID", name="stem_pool2")
+    # inception stacks
+    for i, pool_ch in enumerate((32, 64, 64)):
+        x = _inception_a(b, x, pool_ch, name=f"mixed_a{i}")
+    x = _reduction_a(b, x, name="reduction_a")
+    for i, mid in enumerate((128, 160, 160, 192)):
+        x = _inception_b(b, x, mid, name=f"mixed_b{i}")
+    x = _reduction_b(b, x, name="reduction_b")
+    for i in range(2):
+        x = _inception_c(b, x, name=f"mixed_c{i}")
+    x = b.avg_pool(x, (x.shape[1], x.shape[2]), (1, 1), name="global_pool")
+    x = b.flatten(x)
+    x = b.dropout(x, name="dropout")
+    x = b.dense(x, IMAGENET_299.num_classes, activation=None, name="logits")
+    b.softmax_loss(x, IMAGENET_299.num_classes)
+    return b.finish()

@@ -1,0 +1,86 @@
+"""Two-layer LSTM language model over Penn Tree Bank (Zaremba et al., 2014).
+
+The paper evaluates this model (with dropout) in the mixed-workload study
+(section VI-F): it is dominated by moderate MatMuls and element-wise gate
+operations — exactly the non-CNN profile that co-runs well on the CPU and
+the programmable PIM while a CNN occupies the fixed-function PIMs.
+"""
+
+from __future__ import annotations
+
+from ..datasets import PTB
+from ..graph import Graph
+from ..layers import Activation, GraphBuilder
+
+HIDDEN = 650
+NUM_LAYERS = 2
+#: Truncated-backpropagation length; kept moderate so the graph stays
+#: simulation-friendly while preserving the op mix.
+SEQ_LEN = 12
+
+
+def _lstm_cell(
+    b: GraphBuilder,
+    x: Activation,
+    h: Activation,
+    c: Activation,
+    name: str,
+    param_scope: str,
+) -> tuple:
+    """One LSTM cell step: fused gate MatMul + gate nonlinearities.
+
+    ``param_scope`` ties the gate weights across timesteps of one layer.
+    """
+    hidden = h.shape[-1]
+    xh = b.concat([x, h], name=f"{name}/xh")
+    gates = b.dense(xh, 4 * hidden, activation=None, name=f"{name}/gates",
+                    param_scope=param_scope)
+    i = b.slice_channels(gates, 0, hidden, name=f"{name}/gate_i")
+    f = b.slice_channels(gates, hidden, hidden, name=f"{name}/gate_f")
+    g = b.slice_channels(gates, 2 * hidden, hidden, name=f"{name}/gate_g")
+    o = b.slice_channels(gates, 3 * hidden, hidden, name=f"{name}/gate_o")
+    i = b.activation(i, "sigmoid", name=f"{name}/sig_i")
+    f = b.activation(f, "sigmoid", name=f"{name}/sig_f")
+    o = b.activation(o, "sigmoid", name=f"{name}/sig_o")
+    g = b.activation(g, "tanh", name=f"{name}/tanh_g")
+    fc = b.multiply(f, c, name=f"{name}/f_c")
+    ig = b.multiply(i, g, name=f"{name}/i_g")
+    c_new = b.add(fc, ig, name=f"{name}/c_new")
+    c_act = b.activation(c_new, "tanh", name=f"{name}/tanh_c")
+    h_new = b.multiply(o, c_act, name=f"{name}/h_new")
+    return h_new, c_new
+
+
+def build_lstm(batch_size: int = 20, seq_len: int = SEQ_LEN) -> Graph:
+    """Build one training step of the PTB LSTM with dropout."""
+    b = GraphBuilder("lstm", batch_size=batch_size, dataset=PTB.name)
+    vocab = PTB.vocab_size
+    ids = b.input((batch_size, seq_len), name="token_ids")
+    embedded = b.embedding_lookup(vocab, HIDDEN, ids, name="embedding")
+
+    # initial hidden/cell states are external (stateful training)
+    states = []
+    for layer in range(NUM_LAYERS):
+        h0 = b.input((batch_size, HIDDEN), name=f"h0_l{layer}")
+        c0 = b.input((batch_size, HIDDEN), name=f"c0_l{layer}")
+        states.append((h0, c0))
+
+    for t in range(seq_len):
+        x = b.slice_channels(
+            b.reshape(embedded, (batch_size, seq_len * HIDDEN),
+                      name=f"t{t}/flatten_embed"),
+            t * HIDDEN, HIDDEN, name=f"t{t}/embed_slice",
+        )
+        for layer in range(NUM_LAYERS):
+            h, c = states[layer]
+            h_new, c_new = _lstm_cell(
+                b, x, h, c, name=f"t{t}/l{layer}", param_scope=f"lstm_l{layer}"
+            )
+            if layer == NUM_LAYERS - 1:
+                h_new = b.dropout(h_new, name=f"t{t}/l{layer}/dropout")
+            states[layer] = (h_new, c_new)
+            x = h_new
+        logits = b.dense(x, vocab, activation=None, name=f"t{t}/proj",
+                         param_scope="proj")
+        b.softmax_loss(logits, vocab, name=f"t{t}/loss")
+    return b.finish()

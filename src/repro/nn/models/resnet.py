@@ -1,0 +1,69 @@
+"""ResNet-50 training graph (He et al., 2016).
+
+Bottleneck residual blocks (1x1 -> 3x3 -> 1x1 convolutions, each followed by
+batch normalization) in the standard [3, 4, 6, 3] stage layout, trained with
+the paper's batch size of 128 — the largest working set in the evaluation,
+which is why the paper finds Hetero PIM *faster* than the GPU on this model.
+"""
+
+from __future__ import annotations
+
+from ..datasets import IMAGENET
+from ..graph import Graph
+from ..layers import Activation, GraphBuilder
+
+#: (blocks, base_channels) per stage; bottleneck output is 4x base.
+RESNET50_STAGES = ((3, 64), (4, 128), (6, 256), (3, 512))
+
+
+def _bottleneck(
+    b: GraphBuilder,
+    x: Activation,
+    base: int,
+    stride: int,
+    name: str,
+) -> Activation:
+    """One bottleneck residual block with projection shortcut when needed."""
+    out_channels = 4 * base
+    shortcut = x
+    if stride != 1 or x.shape[-1] != out_channels:
+        shortcut = b.conv2d(
+            x, out_channels, (1, 1), stride=(stride, stride),
+            activation=None, use_bias=False, name=f"{name}/shortcut",
+        )
+        shortcut = b.batch_norm(shortcut, name=f"{name}/shortcut_bn")
+    h = b.conv2d(x, base, (1, 1), stride=(stride, stride),
+                 activation=None, use_bias=False, name=f"{name}/conv1")
+    h = b.batch_norm(h, name=f"{name}/bn1")
+    h = b.relu(h, name=f"{name}/relu1")
+    h = b.conv2d(h, base, (3, 3), activation=None, use_bias=False,
+                 name=f"{name}/conv2")
+    h = b.batch_norm(h, name=f"{name}/bn2")
+    h = b.relu(h, name=f"{name}/relu2")
+    h = b.conv2d(h, out_channels, (1, 1), activation=None, use_bias=False,
+                 name=f"{name}/conv3")
+    h = b.batch_norm(h, name=f"{name}/bn3")
+    h = b.add(h, shortcut, name=f"{name}/residual")
+    return b.relu(h, name=f"{name}/relu_out")
+
+
+def build_resnet50(batch_size: int = 128) -> Graph:
+    """Build one ResNet-50 training step over ImageNet-shaped inputs."""
+    b = GraphBuilder("resnet-50", batch_size=batch_size, dataset=IMAGENET.name)
+    x = b.input(IMAGENET.batch_shape(batch_size))
+    x = b.conv2d(x, 64, (7, 7), stride=(2, 2), activation=None,
+                 use_bias=False, name="conv1")
+    x = b.batch_norm(x, name="bn1")
+    x = b.relu(x, name="relu1")
+    x = b.max_pool(x, (3, 3), (2, 2), padding="SAME", name="pool1")
+    for stage_idx, (blocks, base) in enumerate(RESNET50_STAGES, start=2):
+        for block_idx in range(blocks):
+            stride = 2 if (block_idx == 0 and stage_idx > 2) else 1
+            x = _bottleneck(
+                b, x, base, stride, name=f"stage{stage_idx}/block{block_idx}"
+            )
+    x = b.avg_pool(x, (x.shape[1], x.shape[2]), (1, 1), name="global_pool")
+    x = b.flatten(x)
+    x = b.dense(x, IMAGENET.num_classes, activation=None, name="fc")
+    b.softmax_loss(x, IMAGENET.num_classes)
+    return b.finish()

@@ -1,0 +1,46 @@
+"""VGG-19 training graph (Simonyan & Zisserman, 2014).
+
+16 convolutional layers in five blocks separated by max-pooling, followed by
+three fully connected layers — 138M additional parameters make it the
+heaviest per-step workload among the paper's CNN models.
+"""
+
+from __future__ import annotations
+
+from ..datasets import IMAGENET
+from ..graph import Graph
+from ..layers import GraphBuilder
+
+#: Channel plan: integers are 3x3 conv layers, "M" is a 2x2 max pool.
+VGG19_PLAN = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+)
+
+
+def build_vgg19(batch_size: int = 32) -> Graph:
+    """Build one VGG-19 training step over ImageNet-shaped inputs."""
+    b = GraphBuilder("vgg-19", batch_size=batch_size, dataset=IMAGENET.name)
+    x = b.input(IMAGENET.batch_shape(batch_size))
+    block, conv_in_block = 1, 0
+    for entry in VGG19_PLAN:
+        if entry == "M":
+            x = b.max_pool(x, name=f"pool{block}")
+            block += 1
+            conv_in_block = 0
+        else:
+            conv_in_block += 1
+            x = b.conv2d(
+                x, int(entry), (3, 3), name=f"conv{block}_{conv_in_block}"
+            )
+    x = b.flatten(x)
+    x = b.dense(x, 4096, name="fc6")
+    x = b.dropout(x, name="drop6")
+    x = b.dense(x, 4096, name="fc7")
+    x = b.dropout(x, name="drop7")
+    x = b.dense(x, IMAGENET.num_classes, activation=None, name="fc8")
+    b.softmax_loss(x, IMAGENET.num_classes)
+    return b.finish()

@@ -1,0 +1,29 @@
+"""Word2vec skip-gram with NCE loss (Mikolov et al., 2013).
+
+Evaluated in the paper's mixed-workload study (section VI-F) over the
+TensorFlow "questions-words" dataset: a tiny graph dominated by embedding
+gathers and a sampled-softmax MatMul — the canonical small, CPU-friendly
+co-run partner.
+"""
+
+from __future__ import annotations
+
+from ..datasets import QUESTIONS_WORDS
+from ..graph import Graph
+from ..layers import GraphBuilder
+
+EMBED_DIM = 200
+NUM_SAMPLED = 64
+
+
+def build_word2vec(batch_size: int = 128) -> Graph:
+    """Build one skip-gram training step."""
+    b = GraphBuilder(
+        "word2vec", batch_size=batch_size, dataset=QUESTIONS_WORDS.name
+    )
+    center_ids = b.input((batch_size,), name="center_ids")
+    embedded = b.embedding_lookup(
+        QUESTIONS_WORDS.vocab_size, EMBED_DIM, center_ids, name="embedding"
+    )
+    b.nce_loss(embedded, QUESTIONS_WORDS.vocab_size, NUM_SAMPLED, name="nce")
+    return b.finish()

@@ -1,0 +1,92 @@
+"""Tensor shape descriptors for the operation-graph substrate.
+
+The reproduction never materializes numeric tensor data: the runtime and the
+simulator only need shapes, element sizes and producer/consumer relations.
+:class:`TensorSpec` captures exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ShapeError
+from ..units import FLOAT32_BYTES
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """A named, shaped, typed tensor flowing through the training graph.
+
+    Attributes:
+        name: Globally unique tensor name, e.g. ``"conv1_1/output"``.
+        shape: Tensor dimensions. Scalars use an empty tuple.
+        dtype_bytes: Bytes per element (4 for float32, the paper's datatype).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype_bytes: int = FLOAT32_BYTES
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ShapeError("tensor name must be non-empty")
+        if any(d <= 0 for d in self.shape):
+            raise ShapeError(f"tensor {self.name!r} has non-positive dim: {self.shape}")
+        if self.dtype_bytes <= 0:
+            raise ShapeError(f"tensor {self.name!r} has invalid dtype size")
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count (1 for scalars)."""
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Total size in bytes."""
+        return self.num_elements * self.dtype_bytes
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def with_name(self, name: str) -> "TensorSpec":
+        """A copy of this spec under a different name."""
+        return TensorSpec(name=name, shape=self.shape, dtype_bytes=self.dtype_bytes)
+
+
+def conv_output_hw(
+    h: int, w: int, kernel: Tuple[int, int], stride: Tuple[int, int], padding: str
+) -> Tuple[int, int]:
+    """Spatial output size of a convolution/pool with TF padding semantics.
+
+    Args:
+        h, w: Input spatial size.
+        kernel: ``(kh, kw)`` filter size.
+        stride: ``(sh, sw)`` strides.
+        padding: ``"SAME"`` or ``"VALID"`` (TensorFlow convention).
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    if sh <= 0 or sw <= 0:
+        raise ShapeError(f"strides must be positive: {stride}")
+    if padding == "SAME":
+        return math.ceil(h / sh), math.ceil(w / sw)
+    if padding == "VALID":
+        if h < kh or w < kw:
+            raise ShapeError(
+                f"VALID padding needs input >= kernel, got {(h, w)} vs {kernel}"
+            )
+        return (h - kh) // sh + 1, (w - kw) // sw + 1
+    raise ShapeError(f"unknown padding mode {padding!r}")
+
+
+def deconv_output_hw(
+    h: int, w: int, stride: Tuple[int, int], padding: str = "SAME"
+) -> Tuple[int, int]:
+    """Spatial output size of a transposed convolution (DCGAN generator)."""
+    sh, sw = stride
+    if padding != "SAME":
+        raise ShapeError("only SAME padding is supported for deconvolution")
+    return h * sh, w * sw

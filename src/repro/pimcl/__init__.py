@@ -1,0 +1,56 @@
+"""pimcl — the extended-OpenCL programming model for heterogeneous PIM.
+
+Paper section III-B / Table II: platform model (host + two accelerator
+types), execution model (recursive kernel invocation, operation pipeline,
+profiling-driven scheduling), and memory model (single shared global memory
+with relaxed consistency and explicit synchronization).
+"""
+
+from .api import PimApi, PimSystemState
+from .codegen import generate_binaries
+from .kernel import (
+    BinaryKind,
+    Kernel,
+    KernelBinary,
+    KernelPhase,
+    PhaseKind,
+    PhasePlan,
+)
+from .memory import Allocation, SharedGlobalMemory
+from .platform import (
+    ComputeDevice,
+    ComputeUnit,
+    DeviceType,
+    Platform,
+    ProcessingElement,
+    build_platform,
+)
+from .queue import CommandQueue, EventStatus, KernelCommand, KernelEvent
+from .sync import Barrier, CompletionFlags, GlobalLock
+
+__all__ = [
+    "Allocation",
+    "Barrier",
+    "BinaryKind",
+    "CommandQueue",
+    "CompletionFlags",
+    "ComputeDevice",
+    "ComputeUnit",
+    "DeviceType",
+    "EventStatus",
+    "GlobalLock",
+    "Kernel",
+    "KernelBinary",
+    "KernelCommand",
+    "KernelEvent",
+    "KernelPhase",
+    "PhaseKind",
+    "PhasePlan",
+    "PimApi",
+    "PimSystemState",
+    "Platform",
+    "ProcessingElement",
+    "SharedGlobalMemory",
+    "build_platform",
+    "generate_binaries",
+]

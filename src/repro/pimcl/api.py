@@ -1,0 +1,109 @@
+"""Low-level PIM control APIs (paper Table III, section IV-A).
+
+Four capabilities, mirroring the paper's API surface:
+
+1. ``pim_offload`` — offload a specific operation onto specific PIM(s);
+2. ``pim_is_busy`` — examine whether a PIM (bank / programmable core) is
+   busy, backed by the hardware idle registers of Figure 7;
+3. ``pim_query_complete`` — query the completion of a specific operation;
+4. ``pim_locate`` — query an operation's computation location and its
+   input/output data location (DRAM banks).
+
+These functions are the foundation the runtime system builds on; the
+simulator supplies the live ``PimSystemState``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ProgrammingModelError, SchedulingError
+from ..hardware.fixed_pim import FixedPIMPool
+from ..hardware.prog_pim import ProgPIMCluster
+from ..nn.ops import Op
+from .memory import SharedGlobalMemory
+from .sync import CompletionFlags
+
+
+@dataclass
+class PimSystemState:
+    """Live hardware state the low-level APIs operate on."""
+
+    fixed_pool: FixedPIMPool
+    prog_cluster: ProgPIMCluster
+    memory: SharedGlobalMemory
+    completion: CompletionFlags = field(default_factory=CompletionFlags)
+    #: Where each offloaded op is computing: "fixed_pim" / "prog_pim" / "cpu".
+    locations: Dict[str, str] = field(default_factory=dict)
+
+
+class PimApi:
+    """Table III API functions bound to one system state."""
+
+    def __init__(self, state: PimSystemState):
+        self._state = state
+
+    # (1) offload -------------------------------------------------------
+    def pim_offload(self, op: Op, device: str, units: int = 0, now: float = 0.0) -> int:
+        """Offload ``op`` to ``device``; returns granted fixed units.
+
+        ``device`` is ``"fixed_pim"`` (with a unit request) or
+        ``"prog_pim"``.  Raises :class:`SchedulingError` when the
+        programmable PIM is fully busy.
+        """
+        if device == "fixed_pim":
+            granted = self._state.fixed_pool.allocate(op.name, max(1, units), now)
+            if granted == 0:
+                raise SchedulingError(
+                    f"fixed-function pool has no free units for {op.name!r}"
+                )
+            self._state.locations[op.name] = device
+            return granted
+        if device == "prog_pim":
+            if not self._state.prog_cluster.acquire(op.name, now):
+                raise SchedulingError("all programmable PIMs are busy")
+            self._state.locations[op.name] = device
+            return 0
+        raise ProgrammingModelError(f"cannot offload to device {device!r}")
+
+    # (2) busy tracking --------------------------------------------------
+    def pim_is_busy(self, device: str) -> bool:
+        """Busy status of a PIM device (Figure 7 idle registers)."""
+        if device == "fixed_pim":
+            return self._state.fixed_pool.free_units == 0
+        if device == "prog_pim":
+            return self._state.prog_cluster.free_pims == 0
+        raise ProgrammingModelError(f"unknown PIM device {device!r}")
+
+    def pim_free_capacity(self, device: str) -> int:
+        if device == "fixed_pim":
+            return self._state.fixed_pool.free_units
+        if device == "prog_pim":
+            return self._state.prog_cluster.free_pims
+        raise ProgrammingModelError(f"unknown PIM device {device!r}")
+
+    # (3) completion ------------------------------------------------------
+    def pim_query_complete(self, op_name: str) -> bool:
+        return self._state.completion.is_done(op_name)
+
+    def pim_mark_complete(self, op_name: str, now: float = 0.0) -> None:
+        """Called by the PIM-side runtime when an op finishes; releases its
+        compute resources and sets the completion flag."""
+        location = self._state.locations.pop(op_name, None)
+        if location == "fixed_pim":
+            self._state.fixed_pool.release(op_name, now)
+        elif location == "prog_pim":
+            self._state.prog_cluster.release(op_name, now)
+        self._state.completion.mark_done(op_name)
+
+    # (4) location --------------------------------------------------------
+    def pim_locate(self, op: Op) -> Tuple[Optional[str], List[int]]:
+        """(computation location, input/output home banks) of ``op``."""
+        banks = []
+        for tname in tuple(op.inputs) + tuple(op.outputs):
+            try:
+                banks.append(self._state.memory.home_bank(tname))
+            except ProgrammingModelError:
+                continue  # tensor not resident in the stack
+        return self._state.locations.get(op.name), sorted(set(banks))

@@ -1,0 +1,102 @@
+"""Extended-OpenCL memory model (paper section III-B, "Memory model").
+
+On the heterogeneous PIM system there is a *single shared global memory*
+(the stacked DRAM) addressed by CPU and PIMs alike — no data copies around
+kernel calls.  Consistency is relaxed: a fixed-function PIM's writes become
+visible to other devices only at the end of the kernel call that produced
+them.  This module tracks tensor placement across banks (for the
+locality-aware mapping of section IV-D) and enforces the release-visibility
+rule, raising on reads of unpublished data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ProgrammingModelError
+from ..nn.tensor import TensorSpec
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A tensor's placement in the shared global memory."""
+
+    tensor: TensorSpec
+    home_bank: int
+
+
+@dataclass
+class SharedGlobalMemory:
+    """Single global memory shared between CPU and PIMs.
+
+    Args:
+        n_banks: Bank count of the stack (placement granularity).
+    """
+
+    n_banks: int
+    _allocations: Dict[str, Allocation] = field(default_factory=dict)
+    #: Kernel epoch at which each tensor's latest write becomes visible;
+    #: ``None`` marks a write still inside an unfinished kernel.
+    _visible_epoch: Dict[str, Optional[int]] = field(default_factory=dict)
+    _epoch: int = 0
+
+    def allocate(self, tensor: TensorSpec) -> Allocation:
+        """Place a tensor; deterministic bank assignment by name hash."""
+        if tensor.name in self._allocations:
+            raise ProgrammingModelError(f"tensor {tensor.name!r} already allocated")
+        bank = _stable_hash(tensor.name) % self.n_banks
+        alloc = Allocation(tensor=tensor, home_bank=bank)
+        self._allocations[tensor.name] = alloc
+        self._visible_epoch[tensor.name] = self._epoch  # inputs are visible
+        return alloc
+
+    def allocation(self, name: str) -> Allocation:
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise ProgrammingModelError(f"tensor {name!r} not allocated") from None
+
+    def home_bank(self, name: str) -> int:
+        """Bank holding the tensor — used to co-locate fixed-function work
+        with its input data (section IV-D)."""
+        return self.allocation(name).home_bank
+
+    # ------------------------------------------------------------------
+    # relaxed consistency
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def begin_write(self, name: str) -> None:
+        """A kernel starts producing ``name``; it is unreadable until the
+        kernel-call boundary publishes it."""
+        self.allocation(name)
+        self._visible_epoch[name] = None
+
+    def publish(self, name: str) -> None:
+        """Kernel-call boundary: the tensor's latest write becomes visible."""
+        self.allocation(name)
+        self._epoch += 1
+        self._visible_epoch[name] = self._epoch
+
+    def is_visible(self, name: str) -> bool:
+        self.allocation(name)
+        return self._visible_epoch.get(name) is not None
+
+    def check_readable(self, name: str) -> None:
+        """Raise if a device reads a tensor whose write is unpublished."""
+        if not self.is_visible(name):
+            raise ProgrammingModelError(
+                f"consistency violation: tensor {name!r} read before the "
+                "producing kernel call completed"
+            )
+
+
+def _stable_hash(text: str) -> int:
+    """Deterministic string hash (process-seed independent)."""
+    h = 2166136261
+    for ch in text.encode():
+        h = (h ^ ch) * 16777619 & 0xFFFFFFFF
+    return h

@@ -1,0 +1,136 @@
+"""OpenCL platform-model mapping for the heterogeneous PIM system.
+
+Paper section III-B / Figure 5(b): every fixed-function PIM is a processing
+element (PE); all fixed-function PIMs in one memory bank form a compute
+unit; all banks together form one *compute device*.  Each programmable PIM
+is its own compute device whose ARM cores are its PEs.  Exposing the two
+PIM kinds as distinct devices is what gives the runtime its scheduling
+flexibility.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..config import SystemConfig
+from ..errors import ProgrammingModelError
+from ..hardware.hmc import StackGeometry
+from ..hardware.placement import Placement, place_fixed_pims
+
+
+class DeviceType(enum.Enum):
+    """Kinds of compute devices in the extended platform model."""
+
+    HOST_CPU = "host_cpu"
+    FIXED_PIM = "fixed_pim"
+    PROG_PIM = "prog_pim"
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """One PE: a fixed-function multiplier/adder pair or one ARM core."""
+
+    device: str
+    index: int
+
+
+@dataclass(frozen=True)
+class ComputeUnit:
+    """A group of PEs scheduled together (one bank, or one ARM cluster)."""
+
+    device: str
+    index: int
+    n_pes: int
+
+    def pes(self) -> List[ProcessingElement]:
+        return [ProcessingElement(self.device, i) for i in range(self.n_pes)]
+
+
+@dataclass(frozen=True)
+class ComputeDevice:
+    """One OpenCL compute device."""
+
+    name: str
+    device_type: DeviceType
+    compute_units: Tuple[ComputeUnit, ...]
+
+    @property
+    def n_pes(self) -> int:
+        return sum(cu.n_pes for cu in self.compute_units)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """The extended-OpenCL platform: host + heterogeneous PIM devices."""
+
+    host: ComputeDevice
+    devices: Tuple[ComputeDevice, ...]
+    placement: Placement = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def device(self, name: str) -> ComputeDevice:
+        for d in self.devices:
+            if d.name == name:
+                return d
+        raise ProgrammingModelError(
+            f"no device {name!r}; have {[d.name for d in self.devices]}"
+        )
+
+    def devices_of_type(self, device_type: DeviceType) -> List[ComputeDevice]:
+        return [d for d in self.devices if d.device_type is device_type]
+
+    @property
+    def fixed_pim_device(self) -> ComputeDevice:
+        devices = self.devices_of_type(DeviceType.FIXED_PIM)
+        if not devices:
+            raise ProgrammingModelError("platform has no fixed-function PIM device")
+        return devices[0]
+
+    @property
+    def prog_pim_devices(self) -> List[ComputeDevice]:
+        return self.devices_of_type(DeviceType.PROG_PIM)
+
+
+def build_platform(config: SystemConfig) -> Platform:
+    """Map a :class:`SystemConfig` onto the extended OpenCL platform model.
+
+    The fixed-function device's compute units mirror the thermal-aware bank
+    placement: one CU per bank, with that bank's unit count as its PEs.
+    """
+    geometry = StackGeometry(config.stack)
+    placement = place_fixed_pims(geometry, config.fixed_pim.n_units)
+    host = ComputeDevice(
+        name="host",
+        device_type=DeviceType.HOST_CPU,
+        compute_units=(
+            ComputeUnit(device="host", index=0, n_pes=config.cpu.cores),
+        ),
+    )
+    fixed_cus = tuple(
+        ComputeUnit(device="fixed_pim", index=bank, n_pes=n)
+        for bank, n in enumerate(placement.units_per_bank)
+        if n > 0
+    )
+    fixed = ComputeDevice(
+        name="fixed_pim",
+        device_type=DeviceType.FIXED_PIM,
+        compute_units=fixed_cus,
+    )
+    prog_devices = tuple(
+        ComputeDevice(
+            name=f"prog_pim_{i}",
+            device_type=DeviceType.PROG_PIM,
+            compute_units=(
+                ComputeUnit(
+                    device=f"prog_pim_{i}",
+                    index=0,
+                    n_pes=config.prog_pim.cores_per_pim,
+                ),
+            ),
+        )
+        for i in range(config.prog_pim.n_pims)
+    )
+    return Platform(
+        host=host, devices=(fixed,) + prog_devices, placement=placement
+    )

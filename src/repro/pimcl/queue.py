@@ -1,0 +1,98 @@
+"""Command queues and events (host-side OpenCL execution model).
+
+The host program enqueues kernel commands to a per-device command queue;
+each command carries an event that moves QUEUED -> RUNNING -> COMPLETE.
+The runtime uses events to track operation completion, and the simulator
+drives the state transitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from ..errors import ProgrammingModelError
+from .kernel import BinaryKind, Kernel
+
+
+class EventStatus(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETE = "complete"
+
+
+@dataclass
+class KernelEvent:
+    """Completion-tracking handle for one enqueued kernel."""
+
+    kernel_name: str
+    device: str
+    status: EventStatus = EventStatus.QUEUED
+    enqueue_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+
+    def mark_running(self, now: float) -> None:
+        if self.status is not EventStatus.QUEUED:
+            raise ProgrammingModelError(
+                f"event {self.kernel_name!r}: cannot start from {self.status}"
+            )
+        self.status = EventStatus.RUNNING
+        self.start_time = now
+
+    def mark_complete(self, now: float) -> None:
+        if self.status is not EventStatus.RUNNING:
+            raise ProgrammingModelError(
+                f"event {self.kernel_name!r}: cannot complete from {self.status}"
+            )
+        self.status = EventStatus.COMPLETE
+        self.end_time = now
+
+    @property
+    def queue_delay_s(self) -> float:
+        if self.start_time is None:
+            raise ProgrammingModelError("event has not started")
+        return self.start_time - self.enqueue_time
+
+
+@dataclass(frozen=True)
+class KernelCommand:
+    """One enqueued kernel execution request."""
+
+    kernel: Kernel
+    binary_kind: BinaryKind
+    event: KernelEvent
+
+
+@dataclass
+class CommandQueue:
+    """In-order command queue attached to one compute device."""
+
+    device: str
+    _pending: Deque[KernelCommand] = field(default_factory=deque)
+
+    def enqueue(
+        self, kernel: Kernel, binary_kind: BinaryKind, now: float = 0.0
+    ) -> KernelEvent:
+        """Submit a kernel; validates the requested binary exists."""
+        kernel.binary(binary_kind)  # raises KernelBuildError when absent
+        event = KernelEvent(
+            kernel_name=kernel.op.name, device=self.device, enqueue_time=now
+        )
+        self._pending.append(
+            KernelCommand(kernel=kernel, binary_kind=binary_kind, event=event)
+        )
+        return event
+
+    def pop(self) -> Optional[KernelCommand]:
+        """Dequeue the oldest pending command (None when empty)."""
+        return self._pending.popleft() if self._pending else None
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def empty(self) -> bool:
+        return not self._pending

@@ -1,0 +1,97 @@
+"""Explicit synchronization primitives between CPU and PIMs.
+
+Paper section III-B: shared variables are protected by standard
+shared-memory-multiprocessor schemes — global lock variables and barriers
+in main memory.  The programmable PIM drives synchronization so the CPU is
+not interrupted per-operation: it polls the completion of PIM work and
+forwards one notification to the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..errors import SchedulingError
+
+
+@dataclass
+class GlobalLock:
+    """A lock variable in shared global memory."""
+
+    name: str
+    _holder: Optional[str] = None
+
+    def acquire(self, owner: str) -> bool:
+        """Try to take the lock; returns False if another device holds it."""
+        if self._holder is not None:
+            return self._holder == owner
+        self._holder = owner
+        return True
+
+    def release(self, owner: str) -> None:
+        if self._holder != owner:
+            raise SchedulingError(
+                f"lock {self.name!r}: release by {owner!r} but held by "
+                f"{self._holder!r}"
+            )
+        self._holder = None
+
+    @property
+    def holder(self) -> Optional[str]:
+        return self._holder
+
+
+@dataclass
+class Barrier:
+    """A barrier across a fixed set of participants (CPU + PIMs)."""
+
+    name: str
+    participants: Set[str]
+    _arrived: Set[str] = field(default_factory=set)
+    _generation: int = 0
+
+    def arrive(self, who: str) -> bool:
+        """Register arrival; returns True when the barrier releases."""
+        if who not in self.participants:
+            raise SchedulingError(
+                f"barrier {self.name!r}: {who!r} is not a participant"
+            )
+        self._arrived.add(who)
+        if self._arrived == self.participants:
+            self._arrived.clear()
+            self._generation += 1
+            return True
+        return False
+
+    @property
+    def waiting(self) -> List[str]:
+        return sorted(self.participants - self._arrived)
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+
+@dataclass
+class CompletionFlags:
+    """Per-operation completion flags the programmable PIM maintains.
+
+    The PIM-side runtime sets a flag when an offloaded operation finishes;
+    the host queries flags in one poll instead of being interrupted per
+    operation (section III-B's synchronization design).
+    """
+
+    _done: Set[str] = field(default_factory=set)
+
+    def mark_done(self, op_name: str) -> None:
+        self._done.add(op_name)
+
+    def is_done(self, op_name: str) -> bool:
+        return op_name in self._done
+
+    def drain(self) -> List[str]:
+        """Host-side poll: return and clear all completed operations."""
+        done = sorted(self._done)
+        self._done.clear()
+        return done

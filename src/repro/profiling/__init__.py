@@ -1,0 +1,26 @@
+"""Workload characterization (paper section II-A, Table I, Figure 2)."""
+
+from .classify import (
+    ClassificationThresholds,
+    OpCategory,
+    category_members,
+    classify_type,
+    classify_workload,
+)
+from .counters import CACHE_LINE_BYTES, CounterSample, sample_counters
+from .profiler import OpProfile, TypeProfile, WorkloadProfile, WorkloadProfiler
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "ClassificationThresholds",
+    "CounterSample",
+    "OpCategory",
+    "OpProfile",
+    "TypeProfile",
+    "WorkloadProfile",
+    "WorkloadProfiler",
+    "category_members",
+    "classify_type",
+    "classify_workload",
+    "sample_counters",
+]

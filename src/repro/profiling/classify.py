@@ -1,0 +1,87 @@
+"""Four-way operation classification (paper Figure 2).
+
+The paper buckets training operations by compute and memory intensity:
+
+1. **Compute-intensive** — need not be offloaded, but can opportunistically
+   use idle PIM units (e.g. well-blocked MatMul).
+2. **Compute- and memory-intensive** — the offload targets (e.g.
+   Conv2DBackpropFilter).
+3. **Memory-intensive only ("unusual")** — streaming/gather ops with
+   negligible arithmetic (e.g. Slice).
+4. **Neither** — no meaningful performance impact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .profiler import TypeProfile, WorkloadProfile
+
+
+class OpCategory(enum.IntEnum):
+    """Figure 2 categories."""
+
+    COMPUTE_INTENSIVE = 1
+    COMPUTE_AND_MEMORY_INTENSIVE = 2
+    MEMORY_INTENSIVE = 3
+    NEGLIGIBLE = 4
+
+
+@dataclass(frozen=True)
+class ClassificationThresholds:
+    """Share thresholds defining "intensive".
+
+    An op type is *time-significant* if it holds at least
+    ``time_share_threshold`` of the step's CPU time, and
+    *memory-significant* analogously.  ``compute_bound_intensity`` is the
+    arithmetic-intensity bar (flops per traffic byte) separating
+    compute-bound from memory-bound significant ops.
+    """
+
+    time_share_threshold: float = 0.01
+    memory_share_threshold: float = 0.01
+    compute_bound_intensity: float = 8.0
+
+
+def classify_type(
+    profile: TypeProfile,
+    flops: int,
+    thresholds: ClassificationThresholds = ClassificationThresholds(),
+) -> OpCategory:
+    """Classify one op type given its aggregated profile and flop count."""
+    time_sig = profile.time_share >= thresholds.time_share_threshold
+    mem_sig = profile.memory_share >= thresholds.memory_share_threshold
+    intensity = flops / profile.memory_bytes if profile.memory_bytes else float("inf")
+    compute_bound = intensity >= thresholds.compute_bound_intensity
+    if time_sig and mem_sig:
+        if compute_bound and not mem_sig:
+            return OpCategory.COMPUTE_INTENSIVE
+        return OpCategory.COMPUTE_AND_MEMORY_INTENSIVE
+    if time_sig and compute_bound:
+        return OpCategory.COMPUTE_INTENSIVE
+    if mem_sig:
+        return OpCategory.MEMORY_INTENSIVE
+    return OpCategory.NEGLIGIBLE
+
+
+def classify_workload(
+    profile: WorkloadProfile,
+    flops_by_type: Dict[str, int],
+    thresholds: ClassificationThresholds = ClassificationThresholds(),
+) -> Dict[str, OpCategory]:
+    """Figure 2 classification of every op type in a workload profile."""
+    return {
+        t.op_type: classify_type(
+            t, flops_by_type.get(t.op_type, 0), thresholds
+        )
+        for t in profile.by_type
+    }
+
+
+def category_members(
+    classification: Dict[str, OpCategory], category: OpCategory
+) -> List[str]:
+    """Op types in ``category``, sorted alphabetically."""
+    return sorted(t for t, c in classification.items() if c is category)

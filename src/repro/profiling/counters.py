@@ -1,0 +1,51 @@
+"""Hardware-counter emulation for the profiling framework.
+
+The paper's profiler (Figure 1) couples TensorBoard timing with VTune
+hardware counters — wall time, instructions and LLC-miss-driven main-memory
+accesses per operation.  This module derives the same counter vector from
+the analytical CPU model so the rest of the stack (selection algorithm,
+Table I) consumes data of the same shape as the authors'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CPUConfig
+from ..hardware.cpu import OpTiming
+from ..nn.ops import Op
+
+#: Bytes per main-memory access (one cache line).
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """Counter readings for one operation execution on the host CPU."""
+
+    cycles: int
+    instructions: int
+    llc_misses: int
+
+    @property
+    def main_memory_accesses(self) -> int:
+        """The paper's "#main memory accesses" counter."""
+        return self.llc_misses
+
+    @property
+    def main_memory_bytes(self) -> int:
+        return self.llc_misses * CACHE_LINE_BYTES
+
+
+def sample_counters(op: Op, timing: OpTiming, config: CPUConfig) -> CounterSample:
+    """Emulated counter readings for ``op`` given its analytical timing."""
+    cycles = int(timing.total_s * config.frequency_hz)
+    # ~1 macro instruction per flop plus addressing/control overhead
+    instructions = int(
+        (op.cost.mac_flops + op.cost.other_flops) * 1.15
+        + op.cost.bytes_total / CACHE_LINE_BYTES
+    )
+    llc_misses = op.host_traffic_bytes // CACHE_LINE_BYTES
+    return CounterSample(
+        cycles=cycles, instructions=instructions, llc_misses=llc_misses
+    )

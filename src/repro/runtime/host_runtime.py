@@ -1,0 +1,93 @@
+"""Host-side runtime facade (paper section IV-C, "the runtime on CPU").
+
+The paper extends TensorFlow's runtime with ~2000 lines that (1) initialize
+and characterize PIM devices through OpenCL intrinsics, (2) create device
+contexts, (3) expose the PIM device abstraction to the rest of the
+framework, and (4) communicate with the programmable-PIM runtime.
+:class:`HeterogeneousPimRuntime` is this library's equivalent: the one
+object a user needs to train a model graph on the heterogeneous PIM.
+
+Example::
+
+    from repro.nn.models import build_model
+    from repro.runtime import HeterogeneousPimRuntime
+
+    runtime = HeterogeneousPimRuntime()
+    result = runtime.train(build_model("alexnet"))
+    print(result.step_time_s, result.fixed_pim_utilization)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import SystemConfig, default_config
+from ..nn.graph import Graph
+from ..pimcl.codegen import generate_binaries
+from ..pimcl.kernel import Kernel
+from ..pimcl.platform import Platform, build_platform
+from ..sim.results import RunResult
+from ..sim.simulation import Simulation
+from .scheduler import HeteroPimPolicy
+from .selection import SelectionResult
+
+
+class HeterogeneousPimRuntime:
+    """End-to-end driver: device init, binary generation, scheduling."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        recursive_kernels: bool = True,
+        operation_pipeline: bool = True,
+    ):
+        self.config = config if config is not None else default_config()
+        self.recursive_kernels = recursive_kernels
+        self.operation_pipeline = operation_pipeline
+        self._platform: Optional[Platform] = None
+        self._last_policy: Optional[HeteroPimPolicy] = None
+
+    # ------------------------------------------------------------------
+    # device initialization and characterization
+    # ------------------------------------------------------------------
+    @property
+    def platform(self) -> Platform:
+        """The extended-OpenCL platform (built lazily, cached)."""
+        if self._platform is None:
+            self._platform = build_platform(self.config)
+        return self._platform
+
+    def device_summary(self) -> Dict[str, int]:
+        """Characterization snapshot: PE counts per device."""
+        platform = self.platform
+        summary = {platform.host.name: platform.host.n_pes}
+        for device in platform.devices:
+            summary[device.name] = device.n_pes
+        return summary
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile(self, graph: Graph) -> Dict[str, Kernel]:
+        """Binary generation (Figure 4) for every operation of ``graph``."""
+        return {op.name: generate_binaries(op) for op in graph.ops}
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train(self, graph: Graph, steps: Optional[int] = None) -> RunResult:
+        """Profile, select, schedule and execute ``steps`` training steps."""
+        policy = HeteroPimPolicy(
+            recursive_kernels=self.recursive_kernels,
+            operation_pipeline=self.operation_pipeline,
+        )
+        sim = Simulation(graph, policy, config=self.config, steps=steps)
+        self._last_policy = policy
+        return sim.run()
+
+    @property
+    def last_selection(self) -> Optional[SelectionResult]:
+        """Offload candidates chosen during the most recent train() call."""
+        if self._last_policy is None:
+            return None
+        return self._last_policy.selection

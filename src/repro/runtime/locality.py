@@ -1,0 +1,155 @@
+"""Data-locality mapping of fixed-function work onto banks (section IV-D).
+
+"Our low-level APIs allow us to map operations to fixed-function PIMs that
+are in the same bank as input data of the operations."  This module
+implements that mapping as an analyzable placement pass: every
+pool-eligible operation is assigned units starting from the bank holding
+most of its input bytes, spilling to other banks by proximity when the home
+bank's units are exhausted.
+
+The report quantifies how co-located a workload can be under the
+thermal-aware unit placement — the locality headroom the buffering
+mechanisms of [5] (cited in section IV-D) must cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..hardware.placement import Placement
+from ..nn.graph import Graph
+from ..nn.ops import OffloadClass, Op
+from ..pimcl.memory import SharedGlobalMemory
+
+
+@dataclass(frozen=True)
+class OpAssignment:
+    """Unit assignment of one operation's MAC core."""
+
+    op_name: str
+    home_bank: int
+    units_wanted: int
+    #: (bank, units) grants, home bank first.
+    grants: Tuple[Tuple[int, int], ...]
+
+    @property
+    def units_granted(self) -> int:
+        return sum(u for _b, u in self.grants)
+
+    @property
+    def colocated_units(self) -> int:
+        return sum(u for b, u in self.grants if b == self.home_bank)
+
+    @property
+    def colocated_fraction(self) -> float:
+        granted = self.units_granted
+        return self.colocated_units / granted if granted else 0.0
+
+
+@dataclass(frozen=True)
+class LocalityReport:
+    """Workload-level locality summary."""
+
+    assignments: Tuple[OpAssignment, ...]
+    bank_unit_load: Tuple[int, ...]
+
+    @property
+    def colocated_unit_fraction(self) -> float:
+        """Fraction of granted unit-slots living in their data's bank."""
+        granted = sum(a.units_granted for a in self.assignments)
+        if granted == 0:
+            return 0.0
+        return sum(a.colocated_units for a in self.assignments) / granted
+
+    @property
+    def fully_colocated_ops(self) -> int:
+        return sum(1 for a in self.assignments if a.colocated_fraction == 1.0)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean bank unit-load (1.0 = perfectly balanced)."""
+        loads = [l for l in self.bank_unit_load]
+        mean = sum(loads) / len(loads) if loads else 0.0
+        return max(loads) / mean if mean > 0 else 0.0
+
+
+class LocalityMapper:
+    """Greedy home-bank-first unit assignment for pool-eligible ops."""
+
+    def __init__(self, placement: Placement, memory: SharedGlobalMemory):
+        self.placement = placement
+        self.memory = memory
+
+    def home_bank(self, graph: Graph, op: Op) -> Optional[int]:
+        """Bank holding the most input bytes of ``op`` (None if nothing is
+        stack-resident)."""
+        weights: Dict[int, int] = {}
+        for tname in op.inputs:
+            try:
+                bank = self.memory.home_bank(tname)
+            except Exception:
+                continue
+            weights[bank] = weights.get(bank, 0) + graph.tensor(tname).nbytes
+        if not weights:
+            return None
+        return max(weights.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+
+    def assign(self, graph: Graph) -> LocalityReport:
+        """Assign every pool-eligible op's MAC core to banks.
+
+        Assignments are per-op snapshots against a fresh pool (the runtime
+        reassigns units every kernel launch); the bank load aggregates how
+        often each bank's units are requested across the step.
+        """
+        n_banks = len(self.placement.units_per_bank)
+        bank_load = [0] * n_banks
+        assignments: List[OpAssignment] = []
+        for op in graph.topological_order():
+            if op.offload_class not in (OffloadClass.FIXED, OffloadClass.HYBRID):
+                continue
+            if op.cost.macs == 0:
+                continue
+            home = self.home_bank(graph, op)
+            if home is None:
+                home = 0
+            want = min(op.cost.parallelism, self.placement.total_units)
+            grants = self._grant(home, want)
+            for bank, units in grants:
+                bank_load[bank] += units
+            assignments.append(
+                OpAssignment(
+                    op_name=op.name,
+                    home_bank=home,
+                    units_wanted=want,
+                    grants=tuple(grants),
+                )
+            )
+        return LocalityReport(
+            assignments=tuple(assignments),
+            bank_unit_load=tuple(bank_load),
+        )
+
+    def _grant(self, home: int, want: int) -> List[Tuple[int, int]]:
+        """Home bank first, then outward by bank-index distance."""
+        n_banks = len(self.placement.units_per_bank)
+        order = sorted(range(n_banks), key=lambda b: (abs(b - home), b))
+        grants: List[Tuple[int, int]] = []
+        remaining = want
+        for bank in order:
+            if remaining <= 0:
+                break
+            capacity = self.placement.units_in(bank)
+            take = min(capacity, remaining)
+            if take > 0:
+                grants.append((bank, take))
+                remaining -= take
+        return grants
+
+
+def analyze_locality(graph: Graph, placement: Placement) -> LocalityReport:
+    """Convenience wrapper: allocate tensors, map, and report."""
+    memory = SharedGlobalMemory(n_banks=len(placement.units_per_bank))
+    for spec in graph.tensors.values():
+        memory.allocate(spec)
+    return LocalityMapper(placement, memory).assign(graph)

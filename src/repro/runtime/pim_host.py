@@ -1,0 +1,98 @@
+"""The runtime component executing on the programmable PIM.
+
+Paper section IV-C: the programmable-PIM-side runtime (a) services
+recursive PIM kernels — offloading extracted MAC sub-kernels to the
+fixed-function PIMs without host involvement — and (b) supports the
+operation pipeline by "record[ing] the numbers of additions and
+multiplications already completed in each operation offloaded to the
+programmable PIM, as well as the remaining additions and multiplications".
+
+:class:`PimSideRuntime` keeps that ledger and drives the host-facing
+completion flags, so the CPU is notified once per operation instead of
+being interrupted per sub-kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import SchedulingError
+from ..pimcl.sync import CompletionFlags
+
+
+@dataclass
+class OpLedgerEntry:
+    """Progress record of one operation handled by the PIM runtime."""
+
+    op_name: str
+    total_muls: int
+    total_adds: int
+    done_muls: int = 0
+    done_adds: int = 0
+    sub_kernels_launched: int = 0
+    complete: bool = False
+
+    @property
+    def remaining_muls(self) -> int:
+        return self.total_muls - self.done_muls
+
+    @property
+    def remaining_adds(self) -> int:
+        return self.total_adds - self.done_adds
+
+    @property
+    def progress(self) -> float:
+        total = self.total_muls + self.total_adds
+        if total == 0:
+            return 1.0 if self.complete else 0.0
+        return (self.done_muls + self.done_adds) / total
+
+
+@dataclass
+class PimSideRuntime:
+    """Ledger + completion forwarding for PIM-resident operations."""
+
+    completion: CompletionFlags = field(default_factory=CompletionFlags)
+    _ledger: Dict[str, OpLedgerEntry] = field(default_factory=dict)
+    recursive_dispatches: int = 0
+
+    def begin_op(self, op_name: str, muls: int, adds: int) -> OpLedgerEntry:
+        if op_name in self._ledger and not self._ledger[op_name].complete:
+            raise SchedulingError(f"op {op_name!r} already in flight on PIM")
+        entry = OpLedgerEntry(op_name=op_name, total_muls=muls, total_adds=adds)
+        self._ledger[op_name] = entry
+        return entry
+
+    def record_sub_kernel(self, op_name: str, muls: int, adds: int) -> None:
+        """A recursive sub-kernel dispatched to the fixed-function PIMs
+        completed ``muls``/``adds`` of the operation's work."""
+        entry = self._entry(op_name)
+        if entry.complete:
+            raise SchedulingError(f"op {op_name!r} already complete")
+        entry.done_muls += muls
+        entry.done_adds += adds
+        if entry.done_muls > entry.total_muls or entry.done_adds > entry.total_adds:
+            raise SchedulingError(
+                f"op {op_name!r} over-reported sub-kernel work"
+            )
+        entry.sub_kernels_launched += 1
+        self.recursive_dispatches += 1
+
+    def finish_op(self, op_name: str) -> None:
+        """Mark the op complete and raise the host-visible flag."""
+        entry = self._entry(op_name)
+        entry.complete = True
+        self.completion.mark_done(op_name)
+
+    def _entry(self, op_name: str) -> OpLedgerEntry:
+        try:
+            return self._ledger[op_name]
+        except KeyError:
+            raise SchedulingError(f"op {op_name!r} unknown to PIM runtime") from None
+
+    def in_flight(self) -> List[OpLedgerEntry]:
+        return [e for e in self._ledger.values() if not e.complete]
+
+    def entry(self, op_name: str) -> OpLedgerEntry:
+        return self._entry(op_name)

@@ -1,0 +1,81 @@
+"""Hardware utilization registers (paper Figure 7).
+
+The architecture exposes one idle/busy register per bank of fixed-function
+PIMs plus one for the programmable PIM, letting the software scheduler
+"query the completion of any computation and decide the idleness of
+processing units" without interrupting the devices.  This module is the
+software view over those registers: it maps the pool's aggregate busy count
+onto per-bank bits through the thermal-aware placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import HardwareConfigError
+from ..hardware.fixed_pim import FixedPIMPool
+from ..hardware.placement import Placement
+from ..hardware.prog_pim import ProgPIMCluster
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """One snapshot of the idle registers."""
+
+    bank_busy: List[bool]
+    prog_pim_busy: List[bool]
+
+    @property
+    def any_fixed_idle(self) -> bool:
+        return not all(self.bank_busy)
+
+    @property
+    def any_prog_idle(self) -> bool:
+        return not all(self.prog_pim_busy)
+
+
+class UtilizationRegisters:
+    """Live register view over the fixed pool and programmable cluster.
+
+    Units are assumed filled bank-by-bank in placement order (the runtime
+    maps kernels to units co-located with their data; the register file is
+    a conservative busy summary at bank granularity).
+    """
+
+    def __init__(
+        self,
+        pool: FixedPIMPool,
+        cluster: ProgPIMCluster,
+        placement: Placement,
+    ):
+        if placement.total_units != pool.n_units:
+            raise HardwareConfigError(
+                f"placement covers {placement.total_units} units, pool has "
+                f"{pool.n_units}"
+            )
+        self._pool = pool
+        self._cluster = cluster
+        self._placement = placement
+
+    def snapshot(self) -> RegisterFile:
+        busy_units = self._pool.busy_units
+        bank_busy: List[bool] = []
+        consumed = 0
+        for capacity in self._placement.units_per_bank:
+            if capacity == 0:
+                bank_busy.append(False)
+                continue
+            in_this_bank = max(0, min(capacity, busy_units - consumed))
+            bank_busy.append(in_this_bank == capacity)
+            consumed += in_this_bank
+        prog_busy = [
+            i < self._cluster.busy_pims for i in range(self._cluster.n_pims)
+        ]
+        return RegisterFile(bank_busy=bank_busy, prog_pim_busy=prog_busy)
+
+    def idle_bank_count(self) -> int:
+        return sum(1 for busy in self.snapshot().bank_busy if not busy)
+
+    def idle_prog_count(self) -> int:
+        return self._cluster.free_pims

@@ -1,0 +1,31 @@
+"""Discrete-event, trace-driven simulator (paper section V-A)."""
+
+from .activity import COMPUTE, DATA_MOVEMENT, SYNC, ActivityTracker, TimeBreakdown
+from .devices import FixedPoolExecutor, SlotDevice
+from .engine import Engine, EventHandle
+from .policy import PLACEMENTS, SchedulingPolicy
+from .results import RunResult
+from .simulation import Simulation, simulate
+from .tracegen import TaskSpec, compile_kernels, generate_trace, task_uid, trace_stats
+
+__all__ = [
+    "ActivityTracker",
+    "COMPUTE",
+    "DATA_MOVEMENT",
+    "Engine",
+    "EventHandle",
+    "FixedPoolExecutor",
+    "PLACEMENTS",
+    "RunResult",
+    "SYNC",
+    "SchedulingPolicy",
+    "Simulation",
+    "SlotDevice",
+    "TaskSpec",
+    "TimeBreakdown",
+    "compile_kernels",
+    "generate_trace",
+    "simulate",
+    "task_uid",
+    "trace_stats",
+]

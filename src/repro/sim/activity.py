@@ -1,0 +1,104 @@
+"""Makespan classification into the paper's three breakdown buckets.
+
+Figure 8 (and 11) break execution time into *operation* (computation on any
+device), *data movement* (exposed memory/transfer time) and
+*synchronization*.  Concurrent activities overlap, so the tracker sweeps
+the timeline: at every instant the bucket is chosen by priority —
+computation anywhere counts the instant as operation time; otherwise an
+exposed transfer counts it as data movement; otherwise a pending
+launch/sync delay counts it as synchronization.  Instants where nothing at
+all is in flight (dependency stalls between events) are charged to
+synchronization as well, since they are ordering-induced waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import SimulationError
+
+#: Activity kinds in priority order for interval classification.
+COMPUTE = "compute"
+DATA_MOVEMENT = "data_movement"
+SYNC = "sync"
+
+_KINDS = (COMPUTE, DATA_MOVEMENT, SYNC)
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Sync / data-movement / operation split of a run (Figure 8 bar)."""
+
+    operation_s: float
+    data_movement_s: float
+    sync_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.operation_s + self.data_movement_s + self.sync_s
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        return TimeBreakdown(
+            operation_s=self.operation_s * factor,
+            data_movement_s=self.data_movement_s * factor,
+            sync_s=self.sync_s * factor,
+        )
+
+
+class ActivityTracker:
+    """Priority-sweep classifier over concurrent activity counters."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {k: 0 for k in _KINDS}
+        self._buckets: Dict[str, float] = {k: 0.0 for k in _KINDS}
+        self._idle_s = 0.0
+        self._last_time = 0.0
+        self._started = False
+
+    def _classify(self) -> str:
+        for kind in _KINDS:
+            if self._counts[kind] > 0:
+                return kind
+        return SYNC  # dependency-induced idle counts as synchronization
+
+    def _advance(self, now: float) -> None:
+        if now < self._last_time:
+            raise SimulationError(
+                f"activity time went backwards: {now} < {self._last_time}"
+            )
+        elapsed = now - self._last_time
+        if elapsed > 0:
+            if any(self._counts.values()):
+                self._buckets[self._classify()] += elapsed
+            else:
+                # nothing in flight: only meaningful once the run started
+                if self._started:
+                    self._buckets[SYNC] += elapsed
+                else:
+                    self._idle_s += elapsed
+        self._last_time = now
+
+    def begin(self, kind: str, now: float) -> None:
+        if kind not in self._counts:
+            raise SimulationError(f"unknown activity kind {kind!r}")
+        self._advance(now)
+        self._counts[kind] += 1
+        self._started = True
+
+    def end(self, kind: str, now: float) -> None:
+        if kind not in self._counts:
+            raise SimulationError(f"unknown activity kind {kind!r}")
+        self._advance(now)
+        if self._counts[kind] <= 0:
+            raise SimulationError(f"activity {kind!r} ended more than begun")
+        self._counts[kind] -= 1
+
+    def breakdown(self, now: float) -> TimeBreakdown:
+        """Finalize and return the bucket split up to ``now``."""
+        self._advance(now)
+        return TimeBreakdown(
+            operation_s=self._buckets[COMPUTE],
+            data_movement_s=self._buckets[DATA_MOVEMENT],
+            sync_s=self._buckets[SYNC],
+        )

@@ -1,0 +1,265 @@
+"""Simulated device executors.
+
+Wraps the hardware state machines (:mod:`repro.hardware`) with
+discrete-event timing:
+
+* :class:`SlotDevice` — CPU executor slots / the single GPU queue / the
+  programmable-PIM cluster (one kernel per PIM).
+* :class:`FixedPoolExecutor` — the fixed-function pool as a
+  processor-sharing resource: a MAC sub-kernel's completion rate is
+  proportional to the units it holds, and (with the operation pipeline
+  enabled) kernels expand onto units released by others, re-scheduling
+  their completion events — the paper's "an operation can dynamically
+  change its usage of PIMs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import SchedulingError, SimulationError
+from ..hardware.fixed_pim import FixedPIMPool
+from .engine import Engine, EventHandle
+
+
+class SlotDevice:
+    """A device with ``slots`` identical kernel slots and busy accounting."""
+
+    def __init__(self, engine: Engine, name: str, slots: int):
+        if slots < 1:
+            raise SimulationError(f"device {name!r} needs >= 1 slot")
+        self.engine = engine
+        self.name = name
+        self.slots = slots
+        self._busy = 0
+        self._busy_integral = 0.0
+        self._last_time = 0.0
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - self._busy
+
+    def _integrate(self) -> None:
+        now = self.engine.now
+        self._busy_integral += self._busy * (now - self._last_time)
+        self._last_time = now
+
+    def try_acquire(self, n: int = 1) -> bool:
+        """Claim ``n`` slots atomically; False if not all available."""
+        if n < 1:
+            raise SchedulingError(f"device {self.name!r}: acquire {n} slots")
+        if self._busy + n > self.slots:
+            return False
+        self._integrate()
+        self._busy += n
+        return True
+
+    def release(self, n: int = 1) -> None:
+        if n < 1 or self._busy < n:
+            raise SchedulingError(
+                f"device {self.name!r}: release {n} with {self._busy} busy"
+            )
+        self._integrate()
+        self._busy -= n
+
+    def busy_seconds(self) -> float:
+        """Cumulative busy slot-seconds so far."""
+        self._integrate()
+        return self._busy_integral
+
+
+@dataclass
+class _MacJob:
+    """One in-flight fixed-function sub-kernel."""
+
+    kernel_id: str
+    #: Remaining normalized work, in unit-seconds (decays at `units`/s).
+    remaining: float
+    want_units: int
+    units: int
+    last_update: float
+    on_done: Callable[[], None]
+    handle: Optional[EventHandle] = None
+    arrival: int = 0
+
+
+class FixedPoolExecutor:
+    """Processor-sharing executor over the fixed-function PIM pool.
+
+    Args:
+        engine: Event engine.
+        pool: Allocation/busy-accounting state machine.
+        mac_rate_per_unit: MACs/s one unit retires.
+        byte_rate_per_unit: Bytes/s of in-stack bandwidth one unit's share
+            provides (streaming-bound sub-kernels).
+        pipeline: Operation pipeline (OP) enabled — kernels share the pool
+            and expand onto freed units.  Disabled, the pool is exclusive:
+            one operation holds a pool *token* for its whole kernel.
+        on_units_freed: Callback invoked after units return to the pool
+            (lets the scheduler admit waiting work).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        pool: FixedPIMPool,
+        mac_rate_per_unit: float,
+        byte_rate_per_unit: float,
+        pipeline: bool,
+        on_units_freed: Optional[Callable[[], None]] = None,
+    ):
+        self.engine = engine
+        self.pool = pool
+        self.mac_rate_per_unit = mac_rate_per_unit
+        self.byte_rate_per_unit = byte_rate_per_unit
+        self.pipeline = pipeline
+        self.on_units_freed = on_units_freed or (lambda: None)
+        self._jobs: Dict[str, _MacJob] = {}
+        self._arrivals = 0
+        self._token_holder: Optional[str] = None
+        # duty-window integration (Figure 15 utilization denominator)
+        self._window_count = 0
+        self._window_integral = 0.0
+        self._window_last = 0.0
+
+    # ------------------------------------------------------------------
+    # duty window (time during which fixed-function work is in flight)
+    # ------------------------------------------------------------------
+    def _window_integrate(self) -> None:
+        now = self.engine.now
+        if self._window_count > 0:
+            self._window_integral += now - self._window_last
+        self._window_last = now
+
+    def window_enter(self) -> None:
+        self._window_integrate()
+        self._window_count += 1
+
+    def window_exit(self) -> None:
+        self._window_integrate()
+        if self._window_count <= 0:
+            raise SimulationError("fixed-pool duty window underflow")
+        self._window_count -= 1
+
+    def active_window_seconds(self) -> float:
+        self._window_integrate()
+        return self._window_integral
+
+    # ------------------------------------------------------------------
+    # exclusive token (operation pipeline disabled)
+    # ------------------------------------------------------------------
+    def try_take_token(self, kernel_id: str) -> bool:
+        """Claim exclusive pool use for one operation (no-OP mode)."""
+        if self.pipeline:
+            return True  # sharing allowed; no token needed
+        if self._token_holder is None:
+            self._token_holder = kernel_id
+            return True
+        return self._token_holder == kernel_id
+
+    def drop_token(self, kernel_id: str) -> None:
+        if self.pipeline:
+            return
+        if self._token_holder != kernel_id:
+            raise SchedulingError(
+                f"pool token held by {self._token_holder!r}, not {kernel_id!r}"
+            )
+        self._token_holder = None
+        self.on_units_freed()
+
+    @property
+    def token_holder(self) -> Optional[str]:
+        return self._token_holder
+
+    # ------------------------------------------------------------------
+    # sub-kernel execution
+    # ------------------------------------------------------------------
+    def normalized_work(self, macs: int, nbytes: int) -> float:
+        """Work in unit-seconds: the per-unit compute/stream bound."""
+        mac_w = macs / self.mac_rate_per_unit if macs else 0.0
+        byte_w = nbytes / self.byte_rate_per_unit if nbytes else 0.0
+        return max(mac_w, byte_w)
+
+    def try_submit(
+        self,
+        kernel_id: str,
+        macs: int,
+        nbytes: int,
+        want_units: int,
+        on_done: Callable[[], None],
+    ) -> bool:
+        """Start a MAC sub-kernel; False when no units are available (or
+        another operation holds the exclusive token)."""
+        if not self.pipeline and self._token_holder not in (None, kernel_id):
+            return False
+        now = self.engine.now
+        want = max(1, min(want_units, self.pool.n_units))
+        granted = self.pool.allocate(kernel_id, want, now)
+        if granted == 0:
+            return False
+        work = self.normalized_work(macs, nbytes)
+        self._arrivals += 1
+        job = _MacJob(
+            kernel_id=kernel_id,
+            remaining=work,
+            want_units=want,
+            units=granted,
+            last_update=now,
+            on_done=on_done,
+            arrival=self._arrivals,
+        )
+        self._jobs[kernel_id] = job
+        self._schedule_completion(job)
+        return True
+
+    def _settle(self, job: _MacJob) -> None:
+        now = self.engine.now
+        job.remaining = max(0.0, job.remaining - job.units * (now - job.last_update))
+        job.last_update = now
+
+    def _schedule_completion(self, job: _MacJob) -> None:
+        if job.handle is not None:
+            job.handle.cancel()
+        delay = job.remaining / job.units if job.units else float("inf")
+        job.handle = self.engine.after(delay, lambda: self._complete(job.kernel_id))
+
+    def _complete(self, kernel_id: str) -> None:
+        job = self._jobs.pop(kernel_id, None)
+        if job is None:
+            raise SimulationError(f"completion for unknown job {kernel_id!r}")
+        self._settle(job)
+        self.pool.release(kernel_id, self.engine.now)
+        if self.pipeline:
+            self._redistribute()
+        job.on_done()
+        self.on_units_freed()
+
+    def _redistribute(self) -> None:
+        """Grow running jobs onto freed units (OP expansion), FIFO order."""
+        for job in sorted(self._jobs.values(), key=lambda j: j.arrival):
+            if self.pool.free_units == 0:
+                break
+            if job.units >= job.want_units:
+                continue
+            self._settle(job)
+            new_units = self.pool.expand(
+                job.kernel_id, job.want_units, self.engine.now
+            )
+            if new_units != job.units:
+                job.units = new_units
+                self._schedule_completion(job)
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    def busy_unit_seconds(self) -> float:
+        return self.pool.busy_unit_seconds(self.engine.now)
+
+    def utilization(self) -> float:
+        """Busy-units integral over the duty window (Figure 15 metric)."""
+        window = self.active_window_seconds()
+        if window <= 0:
+            return 0.0
+        return self.busy_unit_seconds() / (self.pool.n_units * window)

@@ -1,0 +1,98 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event engine: events are ``(time, sequence)``
+ordered callbacks; handles support cancellation (needed by the
+processor-sharing fixed-function pool, which reschedules completions when
+allocations change).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancellation handle for a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Engine:
+    """Deterministic discrete-event engine."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[_Event] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    def at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self.now}"
+            )
+        event = _Event(time=time, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + delay, callback)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Process events until the queue drains (or ``until`` / the event
+        budget is reached — the budget guards against runaway feedback)."""
+        while self._heap:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            if self._events_processed > max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events}); likely a "
+                    "scheduling livelock"
+                )
+            event.callback()
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

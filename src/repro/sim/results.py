@@ -1,0 +1,64 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..hardware.power import DeviceUsage, EnergyBreakdown
+from .activity import TimeBreakdown
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of simulating one workload on one configuration.
+
+    All "per-step" quantities are steady-state estimates over the measured
+    steps (the paper reports per-training-step time and energy).
+    """
+
+    config_name: str
+    model_name: str
+    steps: int
+    makespan_s: float
+    step_time_s: float
+    breakdown: TimeBreakdown
+    usage: DeviceUsage
+    energy: EnergyBreakdown
+    fixed_pim_utilization: float
+    events_processed: int
+    #: Per-model step completion times for co-run (mixed-workload) runs.
+    per_model_step_time_s: Optional[Dict[str, float]] = None
+
+    @property
+    def step_breakdown(self) -> TimeBreakdown:
+        """Breakdown normalized to one training step (Figure 8 bar)."""
+        if self.breakdown.total_s <= 0 or self.makespan_s <= 0:
+            return self.breakdown
+        return self.breakdown.scaled(self.step_time_s / self.makespan_s)
+
+    @property
+    def step_energy_j(self) -> float:
+        """Total energy per training step."""
+        return self.energy.total_j / self.steps
+
+    @property
+    def step_dynamic_energy_j(self) -> float:
+        """Dynamic (+memory) energy per step — the Figure 9 quantity."""
+        return self.energy.dynamic_total_j / self.steps
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy.average_power_w
+
+    def edp(self) -> float:
+        """Per-step energy-delay product (Figure 17a metric)."""
+        return self.step_energy_j * self.step_time_s
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How much faster this run is than ``other`` (>1 = faster)."""
+        return other.step_time_s / self.step_time_s
+
+    def energy_ratio_over(self, other: "RunResult") -> float:
+        """How much less dynamic energy than ``other`` (>1 = less energy)."""
+        return other.step_dynamic_energy_j / self.step_dynamic_energy_j

@@ -1,0 +1,709 @@
+"""Trace-driven simulation of training steps on one system configuration.
+
+The :class:`Simulation` executes a generated operation trace
+(:mod:`repro.sim.tracegen`) against the device executors under a
+:class:`~repro.sim.policy.SchedulingPolicy`.  It produces the quantities
+the paper's evaluation reports: per-step time with its
+sync/data-movement/operation breakdown (Fig 8/11), device usage and energy
+(Fig 9/14/17), and fixed-function-PIM utilization (Fig 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..config import SystemConfig, default_config
+from ..errors import SchedulingError, SimulationError
+from ..hardware.cpu import CpuModel
+from ..hardware.fixed_pim import FixedPIMPool
+from ..hardware.gpu import GpuModel
+from ..hardware.power import DeviceUsage, EnergyModel
+from ..nn.graph import Graph
+from ..pimcl.kernel import BinaryKind, PhaseKind
+from .activity import COMPUTE, DATA_MOVEMENT, SYNC, ActivityTracker
+from .devices import FixedPoolExecutor, SlotDevice
+from .engine import Engine
+from .policy import SchedulingPolicy
+from .results import RunResult
+from .timeline import Timeline, TimelineEntry
+from .tracegen import TaskSpec, generate_trace
+
+_STAGING_PREFIX = "__staging__"
+
+
+@dataclass
+class _Task:
+    uid: str
+    step: int
+    spec: Optional[TaskSpec]  # None for pseudo-tasks (GPU input staging)
+    indeg: int
+    dependents: List[str] = field(default_factory=list)
+    done: bool = False
+    started: bool = False
+    priority: int = 0
+    #: Placement chosen at start time (for timeline recording).
+    device: Optional[str] = None
+    start_s: float = 0.0
+
+    @property
+    def sort_key(self):
+        topo = self.spec.topo_index if self.spec is not None else -1
+        return (self.priority, self.step, topo)
+
+
+class Simulation:
+    """One simulated run of ``graph`` under ``policy``."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        policy: SchedulingPolicy,
+        config: Optional[SystemConfig] = None,
+        steps: Optional[int] = None,
+        record_timeline: bool = False,
+    ):
+        self.graph = graph
+        self.timeline: Optional[Timeline] = Timeline() if record_timeline else None
+        self.policy = policy
+        self.config = config if config is not None else default_config()
+        self.steps = steps if steps is not None else self.config.runtime.measured_steps
+        if self.steps < 1:
+            raise SimulationError("need at least one simulated step")
+        policy.validate()
+        policy.prepare(graph, self.config)
+
+        self.engine = Engine()
+        self.tracker = ActivityTracker()
+        self.cpu_model = CpuModel(self.config.cpu)
+        self.gpu_model = GpuModel(self.config.gpu, graph.name)
+
+        self.cpu = SlotDevice(self.engine, "cpu", policy.cpu_slots)
+        self.gpu = SlotDevice(self.engine, "gpu", 1)
+        self.prog = SlotDevice(self.engine, "prog", self.config.prog_pim.n_pims)
+        pool = FixedPIMPool(self.config.fixed_pim.n_units)
+        fp = self.config.fixed_pim
+        self.fixed = FixedPoolExecutor(
+            engine=self.engine,
+            pool=pool,
+            mac_rate_per_unit=fp.simd_width
+            * fp.macs_per_lane_cycle
+            * self.config.pim_frequency_hz,
+            byte_rate_per_unit=self.config.stack.bandwidth / fp.reference_units,
+            pipeline=policy.operation_pipeline,
+            on_units_freed=self._schedule_drain,
+        )
+        # programmable-PIM effective rates (PLL-scaled with the stack)
+        prog_cfg = self.config.prog_pim
+        self._prog_flops_per_pim = (
+            prog_cfg.cores_per_pim
+            * self.config.prog_pim_frequency_hz
+            * prog_cfg.flops_per_core_cycle
+        )
+        self._prog_other_penalty = prog_cfg.other_flop_penalty
+
+        self.usage = DeviceUsage()
+        self._tasks: Dict[str, _Task] = {}
+        self._ready: List[str] = []
+        self._step_remaining: Dict[int, int] = {}
+        self._step_end: Dict[int, float] = {}
+        self._model_step_remaining: Dict[tuple, int] = {}
+        self._model_step_end: Dict[tuple, float] = {}
+        self._fixed_waiters: List[Callable[[], bool]] = []
+        self._slot_waiters: Dict[str, List[Callable[[], bool]]] = {
+            "cpu": [],
+            "prog": [],
+        }
+        self._drain_scheduled = False
+        self._build_tasks()
+
+    # ------------------------------------------------------------------
+    # task-graph construction
+    # ------------------------------------------------------------------
+    def _build_tasks(self) -> None:
+        specs = generate_trace(self.graph, self.steps)
+        for spec in specs:
+            self._tasks[spec.uid] = _Task(
+                uid=spec.uid,
+                step=spec.step,
+                spec=spec,
+                indeg=len(spec.deps),
+                priority=self.policy.priority(spec.op),
+            )
+        for spec in specs:
+            for dep in spec.deps:
+                self._tasks[dep].dependents.append(spec.uid)
+        if self.policy.uses_gpu and self.graph.input_bytes > 0:
+            self._add_staging_tasks(specs)
+        for task in self._tasks.values():
+            self._step_remaining[task.step] = (
+                self._step_remaining.get(task.step, 0) + 1
+            )
+            model = self._task_model(task)
+            key = (model, task.step)
+            self._model_step_remaining[key] = (
+                self._model_step_remaining.get(key, 0) + 1
+            )
+            if task.indeg == 0:
+                self._ready.append(task.uid)
+
+    def _add_staging_tasks(self, specs: List[TaskSpec]) -> None:
+        """One host->device staging pseudo-task per step; the step's entry
+        operations wait for it (the minibatch — and any swapped-out
+        activations of an over-capacity working set — must be resident)."""
+        for step in range(self.steps):
+            uid = f"s{step}/{_STAGING_PREFIX}"
+            staging = _Task(uid=uid, step=step, spec=None, indeg=0)
+            self._tasks[uid] = staging
+            prefix = f"s{step}/"
+            for spec in specs:
+                if spec.step != step:
+                    continue
+                has_intra_step_dep = any(d.startswith(prefix) for d in spec.deps)
+                if not has_intra_step_dep:
+                    task = self._tasks[spec.uid]
+                    task.indeg += 1
+                    staging.dependents.append(spec.uid)
+
+    def _task_model(self, task: _Task) -> str:
+        if task.spec is None:
+            return self.graph.name
+        return str(task.spec.op.attrs.get("source_model", self.graph.name))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the trace to completion and collect metrics."""
+        self._schedule_drain()
+        self.engine.run()
+        unfinished = [t.uid for t in self._tasks.values() if not t.done]
+        if unfinished:
+            raise SimulationError(
+                f"simulation deadlocked with {len(unfinished)} unfinished "
+                f"tasks, e.g. {sorted(unfinished)[:5]}"
+            )
+        return self._collect()
+
+    @property
+    def _min_unfinished_step(self) -> int:
+        pending = [s for s, n in self._step_remaining.items() if n > 0]
+        return min(pending) if pending else self.steps
+
+    def _admissible(self, task: _Task) -> bool:
+        return task.step <= self._min_unfinished_step + self.policy.pipeline_depth
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled:
+            return
+        self._drain_scheduled = True
+        self.engine.after(0.0, self._drain)
+
+    def _drain(self) -> None:
+        self._drain_scheduled = False
+        # retry mid-kernel sub-kernel submissions first (they hold devices)
+        if self._fixed_waiters:
+            waiters, self._fixed_waiters = self._fixed_waiters, []
+            for waiter in waiters:
+                if not waiter():
+                    self._fixed_waiters.append(waiter)
+        for uid in sorted(self._ready, key=lambda u: self._tasks[u].sort_key):
+            task = self._tasks[uid]
+            if task.started or not self._admissible(task):
+                continue
+            if self._try_start(task):
+                task.started = True
+                self._ready.remove(uid)
+
+    def _finish(self, task: _Task) -> None:
+        if task.done:
+            raise SimulationError(f"task {task.uid} finished twice")
+        task.done = True
+        now = self.engine.now
+        if self.timeline is not None:
+            self.timeline.add(
+                TimelineEntry(
+                    uid=task.uid,
+                    op_type=task.spec.op.op_type if task.spec else "InputStaging",
+                    device=task.device or "cpu",
+                    step=task.step,
+                    start_s=task.start_s,
+                    end_s=now,
+                )
+            )
+        self._step_remaining[task.step] -= 1
+        if self._step_remaining[task.step] == 0:
+            self._step_end[task.step] = now
+        key = (self._task_model(task), task.step)
+        self._model_step_remaining[key] -= 1
+        if self._model_step_remaining[key] == 0:
+            self._model_step_end[key] = now
+        for dep_uid in task.dependents:
+            dependent = self._tasks[dep_uid]
+            dependent.indeg -= 1
+            if dependent.indeg == 0:
+                self._ready.append(dep_uid)
+        self._schedule_drain()
+
+    # ------------------------------------------------------------------
+    # placement dispatch
+    # ------------------------------------------------------------------
+    def _fixed_available(self, uid: str) -> bool:
+        if self.policy.operation_pipeline:
+            return self.fixed.pool.free_units > 0
+        return self.fixed.token_holder is None
+
+    # ------------------------------------------------------------------
+    # placement cost estimates (used for the profile-aware CPU fallback)
+    # ------------------------------------------------------------------
+    def _estimate(self, place: str, op) -> float:
+        """Rough duration estimate of ``op`` on ``place`` (ignoring queueing)."""
+        if place == "cpu":
+            fraction = 1.0 / self.policy.cpu_slots
+            return self.cpu_model.op_timing(op, cores_fraction=fraction).total_s
+        if place == "gpu":
+            return self.gpu_model.op_timing(op).total_s
+        if place == "prog":
+            flops = (
+                op.cost.mac_flops
+                + op.cost.other_flops * self._prog_other_penalty
+            )
+            gang = self._prog_gang_size(op)
+            return self._prog_phase_duration(flops / gang, op.traffic_bytes)
+        if place in ("fixed", "hybrid", "hybrid_host"):
+            units = min(op.cost.parallelism, self.fixed.pool.n_units)
+            mac_s = self.fixed.normalized_work(
+                op.cost.macs, op.traffic_bytes
+            ) / max(1, units)
+            complex_s = 0.0
+            if place == "hybrid":
+                complex_s = self._prog_phase_duration(
+                    op.cost.other_flops * self._prog_other_penalty,
+                    op.staging_bytes,
+                )
+            elif place == "hybrid_host":
+                complex_s = self.cpu_model.staging_timing(
+                    op.staging_bytes, op.cost.other_flops
+                ).total_s
+            return mac_s + complex_s
+        raise SchedulingError(f"unknown placement {place!r}")
+
+    def _fallback_allowed(self, op, place: str, preferred: str) -> bool:
+        """Principle 2, profile-aware: spill to a secondary placement only
+        when it is not dramatically slower than the (busy) preferred one —
+        the runtime knows both costs from step-1 profiling."""
+        limit = self.config.runtime.cpu_fallback_slowdown_limit
+        preferred_estimate = self._estimate(preferred, op)
+        fallback_estimate = self._estimate(place, op)
+        if preferred_estimate <= 0:
+            return True
+        return fallback_estimate <= limit * preferred_estimate
+
+    def _try_start(self, task: _Task) -> bool:
+        if task.spec is None:
+            self._mark_started(task, "gpu")
+            self._start_staging(task)
+            return True
+        op = task.spec.op
+        places = self.policy.placements(op)
+        # A deprioritized (co-run tenant) task only consumes *idle* capacity:
+        # it never jumps ahead of primary work queued for a device (the
+        # ready list is already priority-ordered, so primary tasks get the
+        # first claim on freed slots each scheduling round).
+        background = task.priority > 0
+        for place in places:
+            if place != places[0] and not self._fallback_allowed(
+                op, place, places[0]
+            ):
+                continue
+            if background and place == "prog" and self._slot_waiters["prog"]:
+                continue
+            if place == "cpu" and self.cpu.free_slots >= 1:
+                if self.cpu.try_acquire():
+                    self._mark_started(task, "cpu")
+                    self._start_cpu(task)
+                    return True
+            if place == "gpu" and self.gpu.try_acquire():
+                self._mark_started(task, "gpu")
+                self._start_gpu(task)
+                return True
+            if place == "prog" and self.prog.free_slots > 0:
+                gang = min(self._prog_gang_size(op), self.prog.free_slots)
+                if self.prog.try_acquire(gang):
+                    self._mark_started(task, "prog")
+                    self._start_prog(task, gang)
+                    return True
+            if place == "fixed" and self._fixed_available(task.uid):
+                if not self.fixed.try_take_token(task.uid):
+                    continue
+                self._mark_started(task, "fixed")
+                self._start_fixed(task)
+                return True
+            if place in ("hybrid", "hybrid_host") and self._fixed_available(
+                task.uid
+            ):
+                if not self.fixed.try_take_token(task.uid):
+                    continue
+                self._mark_started(task, "fixed")
+                self._start_hybrid(
+                    task, complex_on="prog" if place == "hybrid" else "cpu"
+                )
+                return True
+        return False
+
+    def _mark_started(self, task: _Task, device: str) -> None:
+        task.device = device
+        task.start_s = self.engine.now
+
+    # ------------------------------------------------------------------
+    # executor-slot waiting (complex phases acquire slots mid-kernel)
+    # ------------------------------------------------------------------
+    def _acquire_slot(self, device: SlotDevice, then: Callable[[], None]) -> None:
+        def attempt() -> bool:
+            if device.try_acquire():
+                then()
+                return True
+            return False
+
+        if not attempt():
+            self._slot_waiters[device.name].append(attempt)
+
+    def _release_slot(self, device: SlotDevice) -> None:
+        device.release()
+        waiters = self._slot_waiters[device.name]
+        while waiters and device.free_slots > 0:
+            attempt = waiters.pop(0)
+            if not attempt():
+                waiters.insert(0, attempt)
+                break
+        self._schedule_drain()
+
+    # ------------------------------------------------------------------
+    # activity helpers
+    # ------------------------------------------------------------------
+    def _timed(self, kind: str, duration: float, then: Callable[[], None]) -> None:
+        """Run an activity of ``kind`` for ``duration``, then continue."""
+        if duration <= 0:
+            then()
+            return
+        self.tracker.begin(kind, self.engine.now)
+
+        def _end() -> None:
+            self.tracker.end(kind, self.engine.now)
+            then()
+
+        self.engine.after(duration, _end)
+
+    # ------------------------------------------------------------------
+    # execution recipes
+    # ------------------------------------------------------------------
+    def _start_staging(self, task: _Task) -> None:
+        duration = self.gpu_model.exposed_transfer_s(self.graph)
+        self.usage.external_bytes += self.graph.input_bytes
+        self._timed(DATA_MOVEMENT, duration, lambda: self._finish(task))
+
+    def _start_cpu(self, task: _Task) -> None:
+        op = task.spec.op
+        fraction = 1.0 / self.policy.cpu_slots
+        timing = self.cpu_model.op_timing(op, cores_fraction=fraction)
+        self.usage.external_bytes += op.host_traffic_bytes
+
+        def _after_compute() -> None:
+            def _done() -> None:
+                self._release_slot(self.cpu)
+                self._finish(task)
+
+            self._timed(DATA_MOVEMENT, timing.exposed_memory_s, _done)
+
+        self._timed(COMPUTE, timing.operation_s, _after_compute)
+
+    def _start_gpu(self, task: _Task) -> None:
+        op = task.spec.op
+        timing = self.gpu_model.op_timing(op)
+        self.usage.gpu_bytes += op.traffic_bytes
+
+        def _done() -> None:
+            self.gpu.release()
+            self._finish(task)
+
+        self._timed(COMPUTE, timing.total_s, _done)
+
+    def _prog_phase_duration(self, flops: float, nbytes: float) -> float:
+        compute_s = flops / self._prog_flops_per_pim if flops else 0.0
+        memory_s = nbytes / self.config.stack.bandwidth if nbytes else 0.0
+        return max(compute_s, memory_s)
+
+    def _prog_gang_size(self, op) -> int:
+        """PIMs a whole-kernel prog execution may gang (>= 1)."""
+        limit = max(1, self.policy.prog_gang_limit)
+        return max(1, min(limit, op.cost.parallelism, self.prog.slots))
+
+    def _start_prog(self, task: _Task, gang: int = 1) -> None:
+        """Whole kernel on ``gang`` programmable PIM(s) (binary #4).
+
+        The Progr-PIM baseline gangs several ARM PIMs on one wide
+        operation ("as many ARM-based programmable cores as needed",
+        section VI); the heterogeneous system uses a single PIM.
+        """
+        op = task.spec.op
+        flops = op.cost.mac_flops + op.cost.other_flops * self._prog_other_penalty
+        duration = self._prog_phase_duration(flops / gang, op.traffic_bytes)
+        self.usage.internal_bytes += op.traffic_bytes
+
+        def _after_launch() -> None:
+            def _done() -> None:
+                self.prog.release(gang)
+                self._drain_prog_waiters()
+                self._finish(task)
+
+            self._timed(COMPUTE, duration, _done)
+
+        self._timed(
+            SYNC, self.config.prog_pim.host_launch_overhead_s, _after_launch
+        )
+
+    def _drain_prog_waiters(self) -> None:
+        waiters = self._slot_waiters["prog"]
+        while waiters and self.prog.free_slots > 0:
+            attempt = waiters.pop(0)
+            if not attempt():
+                waiters.insert(0, attempt)
+                break
+
+    def _fixed_launch_overhead(self) -> float:
+        """Launch/sync cost per fixed-function sub-kernel dispatch.
+
+        With recursive kernels the programmable-PIM runtime drives
+        launches in-stack; without them every dispatch is a host round
+        trip (paper section III-B).
+        """
+        if self.policy.recursive_kernels:
+            return self.config.fixed_pim.pim_launch_overhead_s
+        return self.config.fixed_pim.host_launch_overhead_s
+
+    def _mac_dispatch_sync_s(self, macs: int, first: bool) -> float:
+        """Total launch/sync time to dispatch one MAC phase.
+
+        The phase consists of ``macs / subkernel_macs`` loadable
+        micro-kernels (section II-C's "frequent operation-spawning"); each
+        dispatch costs a host round trip, unless the recursive-kernel
+        runtime on the programmable PIM issues them in-stack.
+        """
+        quota = self.config.fixed_pim.subkernel_macs
+        launches = max(1, -(-int(macs) // int(quota)))
+        per_launch = self._fixed_launch_overhead()
+        total = launches * per_launch
+        if first:
+            # the first dispatch of any kernel is always a host action
+            total += self.config.fixed_pim.host_launch_overhead_s - per_launch
+        return max(total, 0.0)
+
+    def _submit_mac(
+        self, uid: str, macs: int, nbytes: int, want: int, on_done: Callable[[], None]
+    ) -> None:
+        """Submit one MAC sub-kernel, waiting for units if necessary.
+
+        The sub-kernel counts as compute activity only while it actually
+        holds units; waiting time surfaces as sync/idle in the breakdown.
+        """
+
+        def wrapped_done() -> None:
+            self.tracker.end(COMPUTE, self.engine.now)
+            self.usage.fixed_macs += macs
+            on_done()
+
+        def attempt() -> bool:
+            started = self.fixed.try_submit(uid, macs, nbytes, want, wrapped_done)
+            if started:
+                self.tracker.begin(COMPUTE, self.engine.now)
+            return started
+
+        if not attempt():
+            self._fixed_waiters.append(attempt)
+
+    def _start_fixed(self, task: _Task) -> None:
+        """FIXED-class op: host-coordinated MAC chunks on the pool."""
+        op = task.spec.op
+        plan = task.spec.kernel.binary(BinaryKind.FIXED_FULL).plan
+        phases = list(plan)
+        launch = self._fixed_launch_overhead()
+        self.usage.internal_bytes += op.traffic_bytes
+        self.fixed.window_enter()
+
+        def next_phase(i: int) -> None:
+            if i >= len(phases):
+                self.fixed.drop_token(task.uid)
+                self.fixed.window_exit()
+                self._finish(task)
+                return
+            phase = phases[i]
+            this_launch = self._mac_dispatch_sync_s(phase.macs, first=(i == 0))
+
+            def after_launch() -> None:
+                self._submit_mac(
+                    task.uid,
+                    phase.macs,
+                    phase.bytes_moved,
+                    op.cost.parallelism,
+                    lambda: next_phase(i + 1),
+                )
+
+            self._timed(SYNC, this_launch, after_launch)
+
+        next_phase(0)
+
+    def _start_hybrid(self, task: _Task, complex_on: str) -> None:
+        """HYBRID op as a recursive PIM kernel (Figure 6).
+
+        ``complex_on`` selects where the complex phases run: the
+        programmable PIM ("prog", Hetero configurations) or the host CPU
+        ("cpu", the Fixed-PIM baseline).  Complex phases acquire an
+        executor slot for their own duration only; the orchestration of
+        MAC sub-kernels does not occupy a compute slot (the PIM-side
+        runtime is an event loop, able to manage many in-flight recursive
+        kernels — section IV-C).
+        """
+        op = task.spec.op
+        plan = task.spec.kernel.binary(BinaryKind.PROG).plan
+        phases = list(plan)
+        rc = self.policy.recursive_kernels
+        self.fixed.window_enter()
+
+        def next_phase(i: int, first: bool) -> None:
+            if i >= len(phases):
+                self.fixed.drop_token(task.uid)
+                self.fixed.window_exit()
+                self._finish(task)
+                return
+            phase = phases[i]
+            # launch cost: MAC phases dispatch one micro-kernel per
+            # sub-kernel quota; complex phases are one dispatch. The first
+            # dispatch (and, without RC, every one) is a host round trip.
+            if phase.kind is PhaseKind.MAC:
+                launch = self._mac_dispatch_sync_s(phase.macs, first=first)
+            elif first or not rc:
+                launch = self.config.prog_pim.host_launch_overhead_s
+            else:
+                launch = self.config.fixed_pim.pim_launch_overhead_s
+
+            def after_launch() -> None:
+                if phase.kind is PhaseKind.COMPLEX:
+                    self._run_complex_phase(
+                        phase, complex_on, lambda: next_phase(i + 1, False)
+                    )
+                else:
+                    self.usage.internal_bytes += phase.bytes_moved
+                    self._submit_mac(
+                        task.uid,
+                        phase.macs,
+                        phase.bytes_moved,
+                        op.cost.parallelism,
+                        lambda: next_phase(i + 1, False),
+                    )
+
+            self._timed(SYNC, launch, after_launch)
+
+        next_phase(0, True)
+
+    def _run_complex_phase(
+        self, phase, complex_on: str, then: Callable[[], None]
+    ) -> None:
+        """Execute one COMPLEX phase on its device, waiting for a slot."""
+        if complex_on == "prog":
+            duration = self._prog_phase_duration(
+                phase.other_flops * self._prog_other_penalty, phase.bytes_moved
+            )
+            self.usage.internal_bytes += phase.bytes_moved
+
+            def run_on_prog() -> None:
+                def done() -> None:
+                    self._release_slot(self.prog)
+                    then()
+
+                self._timed(COMPUTE, duration, done)
+
+            self._acquire_slot(self.prog, run_on_prog)
+            return
+        timing = self.cpu_model.staging_timing(phase.bytes_moved, phase.other_flops)
+        self.usage.external_bytes += phase.bytes_moved
+
+        def run_on_cpu() -> None:
+            def _after_compute() -> None:
+                def done() -> None:
+                    self._release_slot(self.cpu)
+                    then()
+
+                self._timed(DATA_MOVEMENT, timing.exposed_memory_s, done)
+
+            self._timed(COMPUTE, timing.operation_s, _after_compute)
+
+        self._acquire_slot(self.cpu, run_on_cpu)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def _collect(self) -> RunResult:
+        now = self.engine.now
+        makespan = now
+        breakdown = self.tracker.breakdown(now)
+        usage = DeviceUsage(
+            fixed_macs=self.usage.fixed_macs,
+            cpu_busy_s=self.cpu.busy_seconds(),
+            gpu_busy_s=self.gpu.busy_seconds(),
+            fixed_unit_busy_s=self.fixed.busy_unit_seconds(),
+            prog_busy_s=self.prog.busy_seconds(),
+            external_bytes=self.usage.external_bytes,
+            internal_bytes=self.usage.internal_bytes,
+            gpu_bytes=self.usage.gpu_bytes,
+        )
+        energy_model = EnergyModel(self.config, gpu_present=self.policy.uses_gpu)
+        energy = energy_model.energy(usage, makespan)
+        step_time = self._steady_step_time()
+        per_model = self._per_model_step_times()
+        return RunResult(
+            config_name=self.policy.name,
+            model_name=self.graph.name,
+            steps=self.steps,
+            makespan_s=makespan,
+            step_time_s=step_time,
+            breakdown=breakdown,
+            usage=usage,
+            energy=energy,
+            fixed_pim_utilization=self.fixed.utilization(),
+            events_processed=self.engine.events_processed,
+            per_model_step_time_s=per_model,
+        )
+
+    def _steady_step_time(self) -> float:
+        ends = [self._step_end[s] for s in sorted(self._step_end)]
+        if len(ends) == 1:
+            return ends[0]
+        # steady state: exclude the warm-up ramp of the first step
+        return (ends[-1] - ends[0]) / (len(ends) - 1)
+
+    def _per_model_step_times(self) -> Optional[Dict[str, float]]:
+        models = {m for (m, _s) in self._model_step_end}
+        if models == {self.graph.name}:
+            return None
+        result: Dict[str, float] = {}
+        for model in models:
+            ends = [
+                self._model_step_end[(model, s)]
+                for s in range(self.steps)
+                if (model, s) in self._model_step_end
+            ]
+            if len(ends) >= 2:
+                result[model] = (ends[-1] - ends[0]) / (len(ends) - 1)
+            elif ends:
+                result[model] = ends[0]
+        return result
+
+
+def simulate(
+    graph: Graph,
+    policy: SchedulingPolicy,
+    config: Optional[SystemConfig] = None,
+    steps: Optional[int] = None,
+) -> RunResult:
+    """Convenience wrapper: build and run one simulation."""
+    return Simulation(graph, policy, config=config, steps=steps).run()

@@ -1,0 +1,114 @@
+"""Operation-trace generation (the paper's Pin-based trace substitute).
+
+The paper collects instruction traces with a Pin tool while running the
+OpenCL kernel binaries on the CPU, then drives a Python trace-based
+simulator with them.  Here the trace is generated directly from the
+training-step graph: one :class:`TaskSpec` per (step, operation) carrying
+the operation's compiled kernel, its intra-step dependences and the
+cross-step dependences induced by parameter updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..errors import SimulationError
+from ..nn.graph import Graph
+from ..nn.ops import Op
+from ..pimcl.codegen import generate_binaries
+from ..pimcl.kernel import Kernel
+
+
+def task_uid(step: int, op_name: str) -> str:
+    return f"s{step}/{op_name}"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One operation execution in one training step."""
+
+    uid: str
+    step: int
+    op: Op
+    kernel: Kernel
+    deps: FrozenSet[str]
+    topo_index: int
+
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        """Scheduling priority: earlier steps first, then graph order."""
+        return (self.step, self.topo_index)
+
+
+def compile_kernels(graph: Graph) -> Dict[str, Kernel]:
+    """Run binary generation (Figure 4) for every op in the graph."""
+    return {op.name: generate_binaries(op) for op in graph.ops}
+
+
+def generate_trace(
+    graph: Graph,
+    steps: int,
+    kernels: Dict[str, Kernel] = None,
+) -> List[TaskSpec]:
+    """Unroll ``graph`` over ``steps`` training steps.
+
+    Dependences:
+
+    * intra-step tensor dependences (graph edges);
+    * an op reading parameters in step *s* depends on the step *s-1*
+      optimizer updates of those parameters;
+    * an optimizer update in step *s* depends on the same update in step
+      *s-1* (parameter versions are serialized).
+
+    These are exactly the constraints under which the paper's operation
+    pipeline may schedule next-step work onto idle PIMs ("as long as the
+    two operations do not depend on each other").
+    """
+    if steps < 1:
+        raise SimulationError(f"need at least one step, got {steps}")
+    if kernels is None:
+        kernels = compile_kernels(graph)
+    topo = graph.topological_order()
+    topo_index = {op.name: i for i, op in enumerate(topo)}
+    tasks: List[TaskSpec] = []
+    for step in range(steps):
+        for op in topo:
+            deps = {
+                task_uid(step, pred) for pred in graph.predecessors(op.name)
+            }
+            if step > 0:
+                for param in graph.params_read_by(op.name):
+                    update = graph.param_update_op(param)
+                    if update is not None:
+                        deps.add(task_uid(step - 1, update))
+                if op.attrs.get("param_written") is not None:
+                    deps.add(task_uid(step - 1, op.name))
+            tasks.append(
+                TaskSpec(
+                    uid=task_uid(step, op.name),
+                    step=step,
+                    op=op,
+                    kernel=kernels[op.name],
+                    deps=frozenset(deps),
+                    topo_index=topo_index[op.name],
+                )
+            )
+    return tasks
+
+
+def trace_stats(tasks: List[TaskSpec]) -> Dict[str, int]:
+    """Summary statistics of a generated trace (for reporting/tests)."""
+    steps = {t.step for t in tasks}
+    cross_step = sum(
+        1
+        for t in tasks
+        for d in t.deps
+        if not d.startswith(f"s{t.step}/")
+    )
+    return {
+        "tasks": len(tasks),
+        "steps": len(steps),
+        "edges": sum(len(t.deps) for t in tasks),
+        "cross_step_edges": cross_step,
+    }

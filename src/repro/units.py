@@ -1,0 +1,53 @@
+"""Unit helpers and conversion constants.
+
+All internal quantities use SI base units: seconds, bytes, hertz, joules and
+watts.  These helpers exist so that configuration files read like the
+hardware datasheets they are derived from (``2 * GHZ``, ``59 * GB``) instead
+of opaque exponents.
+"""
+
+from __future__ import annotations
+
+# --- frequency -------------------------------------------------------------
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# --- data size -------------------------------------------------------------
+KB = 1024
+MB = 1024**2
+GB = 1024**3
+
+# Bandwidths are customarily quoted in decimal units.
+KB_S = 1e3
+MB_S = 1e6
+GB_S = 1e9
+
+# --- time ------------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# --- energy ----------------------------------------------------------------
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+MJ = 1e-3
+
+# --- compute ---------------------------------------------------------------
+GFLOPS = 1e9
+TFLOPS = 1e12
+
+FLOAT32_BYTES = 4
+
+
+def mm2(value: float) -> float:
+    """Identity helper marking a value as an area in square millimetres."""
+    return value
+
+
+def seconds_per_cycle(frequency_hz: float) -> float:
+    """Duration of one clock cycle at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return 1.0 / frequency_hz

@@ -1,0 +1,67 @@
+"""Design-choice ablation sweeps."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestSubkernelGranularity:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return ablations.sweep_subkernel_granularity(
+            "dcgan", quotas=(10e6, 1e12)
+        )
+
+    def test_rc_benefit_grows_with_finer_granularity(self, sweep):
+        fine_rc, fine_no = sweep[10e6]
+        coarse_rc, coarse_no = sweep[1e12]
+        fine_gap = fine_no.step_time_s / fine_rc.step_time_s
+        coarse_gap = coarse_no.step_time_s / coarse_rc.step_time_s
+        assert fine_gap > coarse_gap
+        assert fine_gap > 1.2
+
+    def test_rc_time_is_granularity_insensitive(self, sweep):
+        """Cheap in-stack launches make granularity nearly free with RC."""
+        fine_rc, _ = sweep[10e6]
+        coarse_rc, _ = sweep[1e12]
+        assert fine_rc.step_time_s < 1.5 * coarse_rc.step_time_s
+
+
+class TestPoolSizeSweep:
+    def test_more_units_faster_but_lower_utilization(self):
+        sweep = ablations.sweep_fixed_units("dcgan", unit_counts=(111, 888))
+        small, big = sweep[111], sweep[888]
+        assert big.step_time_s < small.step_time_s
+        assert big.fixed_pim_utilization < small.fixed_pim_utilization
+
+    def test_diminishing_returns(self):
+        sweep = ablations.sweep_fixed_units(
+            "dcgan", unit_counts=(111, 222, 444)
+        )
+        t = [sweep[u].step_time_s for u in (111, 222, 444)]
+        gain1 = t[0] / t[1]
+        gain2 = t[1] / t[2]
+        assert gain1 > gain2  # doubling helps less the second time
+
+
+class TestFallbackLimit:
+    def test_strict_limit_changes_schedule(self):
+        sweep = ablations.sweep_fallback_limit("dcgan", limits=(1.0, 4.0))
+        strict, relaxed = sweep[1.0], sweep[4.0]
+        # forbidding host stealing shifts work off the CPU
+        assert strict.usage.cpu_busy_s <= relaxed.usage.cpu_busy_s + 1e-9
+
+
+class TestCoverageAndDepth:
+    def test_sweeps_run_and_stay_consistent(self):
+        cov = ablations.sweep_selection_coverage("dcgan", coverages=(0.5, 0.99))
+        assert all(r.step_time_s > 0 for r in cov.values())
+        depth = ablations.sweep_pipeline_depth("dcgan", depths=(0, 2))
+        assert all(r.step_time_s > 0 for r in depth.values())
+
+
+class TestRendering:
+    def test_format_sweep(self):
+        sweep = ablations.sweep_fixed_units("dcgan", unit_counts=(444,))
+        text = ablations.format_sweep("pool", sweep, "units")
+        assert "444" in text and "Step time" in text

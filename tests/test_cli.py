@@ -1,0 +1,74 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg-19" in out and "word2vec" in out
+
+    def test_configs(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "hetero-pim" in out and "neurocube" in out
+
+
+class TestRun:
+    def test_run_default(self, capsys):
+        assert main(["run", "dcgan"]) == 0
+        out = capsys.readouterr().out
+        assert "Hetero PIM" in out
+        assert "step time" in out
+        assert "pool utilization" in out
+
+    def test_run_other_config(self, capsys):
+        assert main(["run", "dcgan", "--config", "cpu", "--steps", "1"]) == 0
+        assert "CPU" in capsys.readouterr().out
+
+    def test_run_neurocube(self, capsys):
+        assert main(["run", "dcgan", "--config", "neurocube"]) == 0
+        assert "Neurocube" in capsys.readouterr().out
+
+    def test_run_frequency_scale(self, capsys):
+        assert main(["run", "dcgan", "--frequency-scale", "2"]) == 0
+        assert "PLL 2x" in capsys.readouterr().out
+
+    def test_run_with_timeline(self, capsys):
+        assert main(["run", "dcgan", "--timeline"]) == 0
+        assert "timeline:" in capsys.readouterr().out
+
+    def test_run_custom_batch(self, capsys):
+        assert main(["run", "dcgan", "--batch-size", "8"]) == 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "lenet"])
+
+
+class TestProfile:
+    def test_profile(self, capsys):
+        assert main(["profile", "dcgan", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Conv2DBackpropFilter" in out
+
+
+class TestTrace:
+    def test_trace_export(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        assert main(["trace", "dcgan", str(out_file), "--steps", "1"]) == 0
+        assert out_file.exists()
+        assert "task records" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Conv2DBackpropFilter" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

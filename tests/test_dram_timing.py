@@ -1,0 +1,67 @@
+"""DRAM timing model: the configured bandwidth is derivable, not magic."""
+
+import pytest
+
+from repro.config import StackConfig, default_config
+from repro.errors import HardwareConfigError
+from repro.hardware.dram_timing import DramBandwidthModel, DramTimings
+
+
+class TestTimings:
+    def test_row_cycle_time(self):
+        t = DramTimings()
+        assert t.t_rc_ns == pytest.approx(t.t_ras_ns + t.t_rp_ns)
+
+    def test_invalid_timings_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            DramTimings(t_rcd_ns=0)
+        with pytest.raises(HardwareConfigError):
+            DramTimings(row_bytes=16, burst_bytes=64)
+
+
+class TestBandwidthDerivation:
+    @pytest.fixture()
+    def model(self):
+        return DramBandwidthModel(default_config().stack)
+
+    def test_peak_bank_rate_is_ddr(self, model):
+        # 16-byte bus, DDR at 312.5 MHz -> 10 GB/s per bank
+        assert model.peak_bank_bandwidth == pytest.approx(10e9)
+
+    def test_configured_bandwidth_is_consistent(self, model):
+        """The headline check: StackConfig promises no more than the
+        timing parameters can deliver."""
+        assert model.consistency_ratio() <= 1.0 + 1e-9
+        assert model.consistency_ratio() > 0.8  # and is not wildly sandbagged
+
+    def test_streaming_beats_random(self, model):
+        assert model.streaming_bank_bandwidth() > model.random_bank_bandwidth()
+
+    def test_interleaving_hides_turnarounds(self):
+        stack = default_config().stack
+        serial = DramBandwidthModel(stack, DramTimings(interleave_ways=1))
+        overlapped = DramBandwidthModel(stack, DramTimings(interleave_ways=4))
+        assert (
+            overlapped.streaming_bank_bandwidth()
+            > serial.streaming_bank_bandwidth()
+        )
+        # with enough interleaving the TSV bus is the only limit
+        assert overlapped.streaming_bank_bandwidth() == pytest.approx(
+            overlapped.peak_bank_bandwidth
+        )
+
+    def test_effective_bandwidth_blend(self, model):
+        pure_stream = model.effective_stack_bandwidth(1.0)
+        pure_random = model.effective_stack_bandwidth(0.0)
+        mixed = model.effective_stack_bandwidth(0.5)
+        assert pure_random < mixed < pure_stream
+
+    def test_invalid_hit_fraction_rejected(self, model):
+        with pytest.raises(HardwareConfigError):
+            model.effective_stack_bandwidth(1.5)
+
+    def test_bandwidth_does_not_follow_pll(self):
+        """DRAM arrays are not on the logic PLL (Figure 11's sublinearity)."""
+        base = DramBandwidthModel(StackConfig())
+        scaled = DramBandwidthModel(StackConfig(frequency_scale=4.0))
+        assert base.peak_bank_bandwidth == scaled.peak_bank_bandwidth

@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs end to end on a fast workload."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_example(name, argv, capsys):
+    old_argv = sys.argv
+    sys.argv = [f"{EXAMPLES}/{name}.py"] + argv
+    try:
+        runpy.run_path(f"{EXAMPLES}/{name}.py", run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", ["dcgan"], capsys)
+        assert "offload candidates" in out
+        assert "fixed-PIM utilization" in out
+
+    def test_characterize_workload(self, capsys):
+        out = run_example("characterize_workload", ["dcgan", "0.9"], capsys)
+        assert "Top CI ops" in out
+        assert "Conv2DBackpropFilter" in out
+
+    def test_compare_configurations(self, capsys):
+        out = run_example("compare_configurations", ["dcgan"], capsys)
+        assert "hetero-pim" in out
+        assert "Speedup over CPU" in out
+
+    def test_frequency_sweep(self, capsys):
+        out = run_example("frequency_sweep", ["dcgan"], capsys)
+        assert "most energy-efficient point: 4x" in out
+
+    def test_custom_model(self, capsys):
+        out = run_example("custom_model", [], capsys)
+        assert "step time on Hetero PIM" in out
+
+    def test_verify_gradients(self, capsys):
+        out = run_example("verify_gradients", [], capsys)
+        assert "all gradients verified" in out
+
+    def test_schedule_timeline(self, capsys):
+        out = run_example("schedule_timeline", ["dcgan", "60"], capsys)
+        assert "timeline:" in out
+        assert "per-device load" in out
+
+    def test_design_space(self, capsys):
+        out = run_example("design_space", ["dcgan"], capsys)
+        assert "444" in out
+        assert "pool-size sweep" in out
+
+    def test_mixed_workload_example(self, capsys):
+        # the fastest co-run pair keeps this smoke test quick
+        out = run_example(
+            "mixed_workload", ["inception-v3", "lstm"], capsys
+        )
+        assert "improvement" in out
+
+    def test_unknown_model_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_example("quickstart", ["lenet"], capsys)

@@ -1,0 +1,177 @@
+"""Experiment modules produce well-formed, paper-shaped outputs."""
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    fig2,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig17,
+    table1,
+)
+from repro.experiments.report import (
+    TextTable,
+    format_seconds,
+    normalized,
+    stacked_bar,
+)
+from repro.profiling import OpCategory
+
+FAST = ("alexnet", "dcgan")
+
+
+class TestReportHelpers:
+    def test_text_table_rendering(self):
+        t = TextTable(["a", "b"])
+        t.add_row(1, 2.5)
+        out = t.render()
+        assert "a" in out and "2.50" in out
+
+    def test_text_table_rejects_ragged_rows(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_stacked_bar(self):
+        bar = stacked_bar([1.0, 1.0], ["x", "y"], width=10)
+        assert bar.startswith("|")
+        assert "x=1" in bar
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(2.0).endswith(" s")
+        assert format_seconds(0.002).endswith(" ms")
+        assert format_seconds(2e-6).endswith(" us")
+
+    def test_normalized(self):
+        assert normalized([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            normalized([1.0], 0.0)
+
+
+class TestTable1:
+    def test_run_and_format(self):
+        result = table1.run(("alexnet",))
+        data = result["alexnet"]
+        assert len(data.top_compute) == 5
+        assert len(data.top_memory) == 5
+        assert data.top_compute[0].op_type == "Conv2DBackpropFilter"
+        assert 0 <= data.other_time_share < 0.3
+        text = table1.format_result(result)
+        assert "Conv2DBackpropFilter" in text
+
+
+class TestFig2:
+    def test_every_type_classified(self):
+        result = fig2.run(("alexnet",))
+        data = result["alexnet"]
+        all_members = set()
+        for category in OpCategory:
+            all_members.update(data.members(category))
+        graph_types = {
+            t.op_type
+            for t in table1.run(("alexnet",))["alexnet"].profile.by_type
+        }
+        assert all_members == graph_types
+        assert "Conv2DBackpropFilter" in data.members(
+            OpCategory.COMPUTE_AND_MEMORY_INTENSIVE
+        )
+
+
+class TestFig8:
+    def test_cells_and_speedups(self):
+        result = fig8.run(models=FAST)
+        for model in FAST:
+            assert set(result[model]) == {
+                "cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim"
+            }
+            for cell in result[model].values():
+                assert cell.step_time_s > 0
+                assert cell.breakdown.total_s == pytest.approx(
+                    cell.step_time_s, rel=0.02
+                )
+        ratios = fig8.speedups(result)
+        assert ratios["alexnet"]["cpu"] > 10
+        text = fig8.format_result(result)
+        assert "hetero-pim" in text
+
+
+class TestFig9:
+    def test_normalization_to_hetero(self):
+        result = fig9.run(models=FAST)
+        for model in FAST:
+            assert result[model]["hetero-pim"].normalized == pytest.approx(1.0)
+            assert result[model]["cpu"].normalized > 3.0
+
+
+class TestFig10:
+    def test_neurocube_ratios(self):
+        result = fig10.run(models=("dcgan",))
+        row = result["dcgan"]
+        assert row.time_ratio > 2.5
+        assert row.energy_ratio > 2.0
+        assert "Neurocube" in fig10.format_result(result)
+
+
+class TestFig11:
+    def test_frequency_monotonicity(self):
+        result = fig11.run(models=("alexnet",))
+        cells = result["alexnet"]
+        assert cells[1.0].step_time_s > cells[2.0].step_time_s
+        assert cells[2.0].step_time_s > cells[4.0].step_time_s
+        # paper: Hetero overtakes the GPU at higher frequencies
+        assert cells[4.0].speedup_vs_gpu > cells[1.0].speedup_vs_gpu
+        assert cells[4.0].speedup_vs_gpu > 1.0
+
+
+class TestFig12:
+    def test_design_points_and_spread(self):
+        result = fig12.run(models=("alexnet",))
+        cells = result["alexnet"]
+        assert cells[1].n_fixed_units == 444
+        assert cells[16].n_fixed_units < cells[4].n_fixed_units
+        assert cells[1].relative_to_1p == pytest.approx(1.0)
+        # paper: the three configurations differ modestly (12-14%)
+        assert fig12.max_spread(result) < 0.35
+
+
+class TestAblationFigures:
+    def test_variants_cover_rc_op_matrix(self):
+        labels = [label for label, _rc, _op in ablation.VARIANTS]
+        assert labels == ["no RC/OP", "RC", "OP", "RC+OP"]
+        with pytest.raises(ValueError):
+            ablation.run_variant("dcgan", "bogus")
+
+    def test_fig13_rc_op_speedup(self):
+        result = fig13.run(models=("dcgan",))
+        data = result["dcgan"]
+        assert data.rc_op_speedup > 1.3
+        assert data.hetero_hw_vs_prog > 1.0
+        assert "RC+OP" in fig13.format_result(result)
+
+    def test_fig14_energy_gain(self):
+        result = fig14.run(models=("dcgan",))
+        data = result["dcgan"]
+        assert data.rc_op_energy_gain > 1.1
+        assert data.normalized("RC+OP") == pytest.approx(1.0)
+
+    def test_fig15_utilization_ladder(self):
+        result = fig15.run(models=("alexnet",))
+        util = result["alexnet"].utilization
+        assert util["no RC/OP"] < util["RC"] <= 1.0
+        assert util["RC+OP"] >= util["RC"]
+        assert result["alexnet"].rc_gain > 0.3
+
+
+class TestFig17:
+    def test_edp_best_at_4x_and_gpu_power_ratio(self):
+        result = fig17.run(models=("alexnet",))
+        data = result["alexnet"]
+        assert data.best_scale == 4.0  # paper: 4x most energy-efficient
+        assert data.gpu_power_ratio(4.0) > 1.2  # GPU is power-hungry

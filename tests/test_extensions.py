@@ -1,0 +1,124 @@
+"""Extension features: multi-stack scaling and inference derivation."""
+
+import pytest
+
+from repro.config import default_config
+from repro.errors import GraphError, HardwareConfigError
+from repro.nn.inference import (
+    backward_share,
+    derive_inference_graph,
+    is_forward_op,
+)
+from repro.nn.models import build_model
+
+
+class TestWithStacks:
+    def test_scales_resources(self):
+        base = default_config()
+        quad = base.with_stacks(4)
+        assert quad.fixed_pim.n_units == 4 * base.fixed_pim.n_units
+        assert quad.prog_pim.n_pims == 4 * base.prog_pim.n_pims
+        assert quad.stack.bandwidth == pytest.approx(4 * base.stack.bandwidth)
+        assert quad.fixed_pim.reference_units == 4 * 444
+
+    def test_one_stack_is_identity(self):
+        assert default_config().with_stacks(1) == default_config()
+
+    def test_rejects_zero(self):
+        with pytest.raises(HardwareConfigError):
+            default_config().with_stacks(0)
+
+    def test_more_stacks_train_faster(self):
+        from repro.baselines import make_hetero_pim
+        from repro.sim.simulation import simulate
+
+        g = build_model("dcgan")
+        times = []
+        for n in (1, 4):
+            cfg, pol = make_hetero_pim(default_config().with_stacks(n))
+            times.append(simulate(g, pol, cfg).step_time_s)
+        assert times[1] < times[0]
+
+    def test_scaling_is_sublinear(self):
+        """Dependence chains and host-side work bound multi-stack gains."""
+        from repro.baselines import make_hetero_pim
+        from repro.sim.simulation import simulate
+
+        g = build_model("alexnet")
+        cfg1, pol1 = make_hetero_pim(default_config())
+        cfg4, pol4 = make_hetero_pim(default_config().with_stacks(4))
+        t1 = simulate(g, pol1, cfg1).step_time_s
+        t4 = simulate(g, pol4, cfg4).step_time_s
+        assert 1.0 < t1 / t4 < 4.0
+
+
+class TestInferenceDerivation:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        train = build_model("alexnet")
+        return train, derive_inference_graph(train)
+
+    def test_no_backward_ops(self, pair):
+        _train, infer = pair
+        counts = infer.invocation_counts()
+        for backward_type in (
+            "Conv2DBackpropFilter", "Conv2DBackpropInput", "BiasAddGrad",
+            "ReluGrad", "MaxPoolGrad", "ApplyAdam",
+        ):
+            assert counts.get(backward_type, 0) == 0
+
+    def test_forward_ops_preserved(self, pair):
+        train, infer = pair
+        t_counts = train.invocation_counts()
+        i_counts = infer.invocation_counts()
+        for forward_type in ("Conv2D", "Relu", "MaxPool", "MatMul", "BiasAdd"):
+            # forward MatMuls stay, gradient MatMuls go
+            assert 0 < i_counts.get(forward_type, 0) <= t_counts[forward_type]
+
+    def test_is_forward_op_on_loss(self, pair):
+        train, _ = pair
+        loss = next(
+            op for op in train.ops
+            if op.op_type == "SparseSoftmaxCrossEntropyWithLogits"
+        )
+        assert not is_forward_op(loss)
+
+    def test_graph_is_valid_and_named(self, pair):
+        _train, infer = pair
+        infer.validate()
+        assert infer.name == "alexnet-inference"
+
+    def test_backward_share_in_expected_range(self, pair):
+        train, _ = pair
+        # fwd:bwd compute is roughly 1:2 for conv nets
+        assert 0.55 < backward_share(train) < 0.75
+
+    def test_inference_faster_than_training(self, pair):
+        from repro.baselines import make_hetero_pim
+        from repro.sim.simulation import simulate
+
+        train, infer = pair
+        cfg, pol = make_hetero_pim(default_config())
+        t_train = simulate(train, pol, cfg).step_time_s
+        cfg2, pol2 = make_hetero_pim(default_config())
+        t_infer = simulate(infer, pol2, cfg2).step_time_s
+        assert t_infer < 0.5 * t_train
+
+    def test_empty_forward_rejected(self):
+        from repro.nn.graph import Graph
+        from repro.nn.ops import Op, OpCost
+        from repro.nn.tensor import TensorSpec
+
+        g = Graph(name="onlyloss")
+        g.add_tensor(TensorSpec("x", (1,)))
+        g.add_tensor(TensorSpec("grad/x", (1,)))
+        g.add_op(Op("l", "Relu", inputs=("x",), outputs=("grad/x",),
+                    cost=OpCost(other_flops=1)))
+        with pytest.raises(GraphError):
+            derive_inference_graph(g)
+
+    def test_works_for_all_cnn_models(self):
+        for model in ("vgg-19", "dcgan"):
+            infer = derive_inference_graph(build_model(model))
+            infer.validate()
+            assert infer.num_ops < build_model(model).num_ops

@@ -1,0 +1,145 @@
+"""Failure injection: the system fails loudly on inconsistent states."""
+
+import pytest
+
+from repro.baselines import build_configuration
+from repro.config import default_config
+from repro.errors import (
+    GraphError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.nn.graph import Graph
+from repro.nn.models import build_model
+from repro.nn.ops import Op, OpCost
+from repro.nn.tensor import TensorSpec
+from repro.sim.engine import Engine
+from repro.sim.policy import SchedulingPolicy
+from repro.sim.simulation import Simulation
+
+
+class DeadPolicy(SchedulingPolicy):
+    """A policy that can never place anything (scheduler starvation)."""
+
+    name = "dead"
+    cpu_slots = 1
+
+    def placements(self, op):
+        return ("gpu",)  # never acquires: gpu exists but HOST ops can't...
+
+
+class StarvingPolicy(SchedulingPolicy):
+    """Returns an empty preference list: tasks can never start."""
+
+    name = "starving"
+    cpu_slots = 1
+
+    def placements(self, op):
+        return ()
+
+
+class TestSchedulerFailures:
+    def test_unplaceable_tasks_deadlock_is_detected(self):
+        g = build_model("dcgan")
+        with pytest.raises(SimulationError, match="deadlock"):
+            Simulation(g, StarvingPolicy(), default_config(), steps=1).run()
+
+    def test_invalid_policy_configuration_rejected(self):
+        policy = StarvingPolicy()
+        policy.cpu_slots = 0
+        with pytest.raises(ValueError):
+            policy.validate()
+
+    def test_negative_pipeline_depth_rejected(self):
+        policy = StarvingPolicy()
+        policy.pipeline_depth = -1
+        with pytest.raises(ValueError):
+            policy.validate()
+
+
+class TestEngineFailures:
+    def test_callback_exception_propagates(self):
+        engine = Engine()
+
+        def boom():
+            raise RuntimeError("injected failure")
+
+        engine.at(1.0, boom)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            engine.run()
+
+    def test_events_after_failure_are_preserved(self):
+        engine = Engine()
+        fired = []
+        engine.at(1.0, lambda: (_ for _ in ()).throw(ValueError("x")))
+        engine.at(2.0, lambda: fired.append(2))
+        with pytest.raises(ValueError):
+            engine.run()
+        # the engine can be resumed after handling the failure
+        engine.run()
+        assert fired == [2]
+
+
+class TestGraphCorruption:
+    def test_broken_dependency_chain_detected(self):
+        """A graph op consuming an unproduced tensor simulates as external
+        input; a *cyclic* graph must fail validation."""
+        g = Graph(name="bad")
+        g.add_tensor(TensorSpec("a", (1,)))
+        g.add_tensor(TensorSpec("b", (1,)))
+        g.add_op(Op("x", "Relu", inputs=("b",), outputs=("a",),
+                    cost=OpCost(other_flops=1)))
+        g.add_op(Op("y", "Relu", inputs=("a",), outputs=("b",),
+                    cost=OpCost(other_flops=1)))
+        with pytest.raises(GraphError, match="cycle"):
+            g.validate()
+
+    def test_simulating_cyclic_graph_fails_fast(self):
+        g = Graph(name="bad")
+        g.add_tensor(TensorSpec("a", (1,)))
+        g.add_tensor(TensorSpec("b", (1,)))
+        g.add_op(Op("x", "Relu", inputs=("b",), outputs=("a",),
+                    cost=OpCost(other_flops=1)))
+        g.add_op(Op("y", "Relu", inputs=("a",), outputs=("b",),
+                    cost=OpCost(other_flops=1)))
+        cfg, pol = build_configuration("cpu")
+        with pytest.raises(GraphError):
+            Simulation(g, pol, cfg)
+
+
+class TestResourceMisuse:
+    def test_pool_over_release_detected(self):
+        from repro.hardware.fixed_pim import FixedPIMPool
+
+        pool = FixedPIMPool(4)
+        pool.allocate("k", 2, now=0.0)
+        pool.release("k", now=1.0)
+        with pytest.raises(SchedulingError):
+            pool.release("k", now=2.0)
+
+    def test_expand_without_allocation_detected(self):
+        from repro.hardware.fixed_pim import FixedPIMPool
+
+        with pytest.raises(SchedulingError):
+            FixedPIMPool(4).expand("ghost", 2, now=0.0)
+
+    def test_simulation_completes_after_resource_pressure(self):
+        """One-unit pool: everything serializes but still completes."""
+        from dataclasses import replace
+
+        base = default_config()
+        tiny = replace(base, fixed_pim=replace(base.fixed_pim, n_units=1))
+        cfg, pol = build_configuration("hetero-pim", tiny)
+        result = Simulation(build_model("dcgan"), pol, cfg, steps=1).run()
+        assert result.makespan_s > 0
+
+    def test_single_prog_pim_and_single_cpu_slot(self):
+        """Minimal executor counts cannot deadlock the hetero runtime."""
+        from repro.runtime.scheduler import HeteroPimPolicy
+
+        pol = HeteroPimPolicy(cpu_slots=1)
+        result = Simulation(
+            build_model("dcgan"), pol, default_config(), steps=1
+        ).run()
+        assert pol.cpu_slots == 1
+        assert result.makespan_s > 0

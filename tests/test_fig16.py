@@ -1,0 +1,38 @@
+"""Mixed-workload co-running (Figure 16) — one fast case end to end."""
+
+import pytest
+
+from repro.experiments import fig16
+
+
+@pytest.fixture(scope="module")
+def case():
+    # inception-v3 + lstm is the cheapest of the six cases to simulate
+    return fig16.run_case("inception-v3", "lstm")
+
+
+class TestCoRun:
+    def test_corun_absorbs_the_tenant(self, case):
+        """Co-running costs little more than the CNN alone."""
+        assert case.corun_s < 1.25 * case.solo_cnn_s
+
+    def test_improvement_in_paper_band(self, case):
+        """Paper: 69%-83% improvement over sequential execution."""
+        assert 0.5 < case.improvement < 1.2
+
+    def test_tenant_rate_balances_durations(self, case):
+        k = case.non_cnn_steps_per_cnn_step
+        tenant_work = k * case.solo_non_cnn_s
+        assert 0.4 * case.solo_cnn_s < tenant_work < 1.1 * case.solo_cnn_s
+
+    def test_sequential_is_sum_of_solos(self, case):
+        expected = (
+            case.solo_cnn_s
+            + case.non_cnn_steps_per_cnn_step * case.solo_non_cnn_s
+        )
+        assert case.sequential_s == pytest.approx(expected)
+
+    def test_formatting(self, case):
+        text = fig16.format_result({"inception-v3+lstm": case})
+        assert "inception-v3+lstm" in text
+        assert "%" in text

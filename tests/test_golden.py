@@ -1,0 +1,57 @@
+"""Golden regression: the calibrated results are locked.
+
+The simulator is fully deterministic, so any drift in these metrics means
+an unintended behavioral change.  Intentional calibration updates must
+regenerate the snapshot (``python tools/regen_golden.py``) and re-validate
+the paper bands (tests/test_paper_bands.py, EXPERIMENTS.md).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.common import run_model_on
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "metrics.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+def _cases(configs):
+    return [
+        (model, config)
+        for model in ("vgg-19", "alexnet", "dcgan")
+        for config in configs
+    ]
+
+
+@pytest.mark.parametrize(
+    "model,config",
+    _cases(("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim", "neurocube")),
+)
+def test_metrics_match_golden(golden, model, config):
+    expected = golden[f"{model}/{config}"]
+    result = run_model_on(model, config)
+    assert result.step_time_s == pytest.approx(
+        expected["step_time_s"], rel=1e-9
+    )
+    assert result.step_dynamic_energy_j == pytest.approx(
+        expected["dynamic_energy_j"], rel=1e-9
+    )
+    assert result.fixed_pim_utilization == pytest.approx(
+        expected["fixed_pim_utilization"], rel=1e-9, abs=1e-12
+    )
+    assert result.step_breakdown.sync_s == pytest.approx(
+        expected["sync_s"], rel=1e-9, abs=1e-12
+    )
+    assert result.step_breakdown.data_movement_s == pytest.approx(
+        expected["data_movement_s"], rel=1e-9, abs=1e-12
+    )
+
+
+def test_golden_file_covers_all_cases(golden):
+    assert len(golden) == 18  # 3 models x 6 configurations

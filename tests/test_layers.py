@@ -1,0 +1,176 @@
+"""GraphBuilder layers and tape-based backward construction."""
+
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.nn.layers import GraphBuilder
+
+
+def small_cnn() -> GraphBuilder:
+    b = GraphBuilder("cnn", batch_size=2)
+    x = b.input((2, 8, 8, 3))
+    x = b.conv2d(x, 4, (3, 3), name="c1")
+    x = b.max_pool(x, name="p1")
+    x = b.flatten(x)
+    x = b.dense(x, 10, activation=None, name="fc")
+    b.softmax_loss(x, 10)
+    return b
+
+
+class TestForward:
+    def test_conv_shapes(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 8, 8, 3))
+        y = b.conv2d(x, 16, (3, 3), stride=(2, 2), name="c")
+        assert y.shape == (2, 4, 4, 16)
+
+    def test_conv_rejects_non_nhwc(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 8))
+        with pytest.raises(ShapeError):
+            b.conv2d(x, 4, (3, 3))
+
+    def test_dense_rejects_non_2d(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4, 4, 3))
+        with pytest.raises(ShapeError):
+            b.dense(x, 8)
+
+    def test_concat_channel_axis(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4, 4, 3))
+        y = b.input((2, 4, 4, 5))
+        z = b.concat([x, y])
+        assert z.shape == (2, 4, 4, 8)
+
+    def test_concat_rejects_mismatched_leading_dims(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4, 4, 3))
+        y = b.input((2, 2, 2, 3))
+        with pytest.raises(ShapeError):
+            b.concat([x, y])
+
+    def test_add_requires_same_shape(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4))
+        y = b.input((2, 5))
+        with pytest.raises(ShapeError):
+            b.add(x, y)
+
+    def test_reshape_preserves_elements(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 12))
+        y = b.reshape(x, (2, 3, 4))
+        assert y.shape == (2, 3, 4)
+        with pytest.raises(ShapeError):
+            b.reshape(x, (2, 5))
+
+
+class TestBackward:
+    def test_finish_requires_loss(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4))
+        b.dense(x, 2, name="fc")
+        with pytest.raises(GraphError):
+            b.finish()
+
+    def test_backward_emits_expected_op_types(self):
+        g = small_cnn().finish()
+        counts = g.invocation_counts()
+        assert counts["Conv2D"] == 1
+        assert counts["Conv2DBackpropFilter"] == 1
+        # the first conv consumes the input: no input gradient needed
+        assert counts.get("Conv2DBackpropInput", 0) == 0
+        assert counts["MaxPoolGrad"] == 1
+        assert counts["BiasAddGrad"] == 2  # conv bias + fc bias
+        assert counts["ApplyAdam"] == 4  # conv w/b + fc w/b
+
+    def test_two_conv_layers_get_input_gradient(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 8, 8, 3))
+        x = b.conv2d(x, 4, (3, 3), name="c1")
+        x = b.conv2d(x, 4, (3, 3), name="c2")
+        x = b.flatten(x)
+        x = b.dense(x, 10, activation=None, name="fc")
+        b.softmax_loss(x, 10)
+        g = b.finish()
+        # only the second conv backprops to its input
+        assert g.invocation_counts()["Conv2DBackpropInput"] == 1
+        assert g.has_op("c2/Conv2DBackpropInput")
+
+    def test_residual_add_merges_gradients_with_addn(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 8, 8, 4))
+        h = b.conv2d(x, 4, (3, 3), name="c1")
+        h2 = b.conv2d(h, 4, (3, 3), name="c2")
+        out = b.add(h, h2, name="res")  # h consumed by c2 AND the add
+        out = b.flatten(out)
+        out = b.dense(out, 10, activation=None, name="fc")
+        b.softmax_loss(out, 10)
+        g = b.finish()
+        assert g.invocation_counts()["AddN"] >= 1
+
+    def test_concat_backward_emits_slices(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4, 4, 3))
+        a = b.conv2d(x, 4, (1, 1), name="ba")
+        c = b.conv2d(x, 4, (1, 1), name="bc")
+        z = b.concat([a, c], name="cat")
+        z = b.flatten(z)
+        z = b.dense(z, 10, activation=None, name="fc")
+        b.softmax_loss(z, 10)
+        g = b.finish()
+        assert g.invocation_counts()["Slice"] == 2
+
+    def test_graph_is_acyclic_and_valid(self):
+        small_cnn().finish().validate()
+
+    def test_num_parameters(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4))
+        b._loss_seeds  # builder internal exists
+        x = b.dense(x, 8, name="fc")
+        assert b.num_parameters() == 4 * 8 + 8
+
+
+class TestParameterSharing:
+    def test_shared_dense_weights(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4))
+        h1 = b.dense(x, 4, name="t0", param_scope="cell")
+        h2 = b.dense(h1, 4, name="t1", param_scope="cell")
+        b.softmax_loss(
+            b.dense(h2, 3, activation=None, name="out"), 3
+        )
+        g = b.finish()
+        # one weight tensor, two MatMuls reading it, gradients combined
+        assert g.invocation_counts()["ApplyAdam"] == 4  # cell w/b + out w/b
+        assert b.num_parameters() == (4 * 4 + 4) + (4 * 3 + 3)
+
+    def test_shared_param_shape_mismatch_rejected(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4))
+        b.dense(x, 4, name="t0", param_scope="cell")
+        y = b.input((2, 8))
+        with pytest.raises(GraphError):
+            b.dense(y, 4, name="t1", param_scope="cell")
+
+    def test_double_loss_seed_rejected(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4))
+        y = b.dense(x, 3, activation=None, name="fc")
+        b.softmax_loss(y, 3, name="l1")
+        with pytest.raises(GraphError):
+            b.softmax_loss(y, 3, name="l2")
+
+    def test_stop_gradient_blocks_backprop(self):
+        b = GraphBuilder("g", batch_size=2)
+        x = b.input((2, 4))
+        h = b.dense(x, 4, name="first")
+        h = b.stop_gradient(h)
+        y = b.dense(h, 3, activation=None, name="second")
+        b.softmax_loss(y, 3)
+        g = b.finish()
+        # no gradient flows into the first layer: its weights get no update
+        assert not g.has_op("first/weights/ApplyAdam")
+        assert g.has_op("second/weights/ApplyAdam")

@@ -1,0 +1,87 @@
+"""Data-locality mapping of MAC work onto banks (section IV-D)."""
+
+import pytest
+
+from repro.config import default_config
+from repro.hardware.hmc import StackGeometry
+from repro.hardware.placement import place_fixed_pims
+from repro.nn.models import build_model
+from repro.runtime.locality import LocalityMapper, analyze_locality
+from repro.pimcl.memory import SharedGlobalMemory
+
+
+@pytest.fixture(scope="module")
+def placement():
+    return place_fixed_pims(StackGeometry(default_config().stack), 444)
+
+
+@pytest.fixture(scope="module")
+def report(placement):
+    return analyze_locality(build_model("alexnet"), placement)
+
+
+class TestAssignment:
+    def test_covers_pool_eligible_ops(self, report):
+        graph = build_model("alexnet")
+        from repro.nn.ops import OffloadClass
+
+        eligible = [
+            op for op in graph.ops
+            if op.offload_class in (OffloadClass.FIXED, OffloadClass.HYBRID)
+            and op.cost.macs > 0
+        ]
+        assert len(report.assignments) == len(eligible)
+
+    def test_grants_respect_bank_capacity(self, report, placement):
+        for a in report.assignments:
+            for bank, units in a.grants:
+                assert units <= placement.units_in(bank)
+
+    def test_grants_never_exceed_want(self, report):
+        for a in report.assignments:
+            assert a.units_granted <= a.units_wanted
+
+    def test_home_bank_granted_first(self, report, placement):
+        for a in report.assignments:
+            if placement.units_in(a.home_bank) > 0:
+                assert a.grants[0][0] == a.home_bank
+
+    def test_small_ops_fully_colocated(self, report, placement):
+        """Ops wanting fewer units than their home bank holds stay local."""
+        for a in report.assignments:
+            if a.units_wanted <= placement.units_in(a.home_bank):
+                assert a.colocated_fraction == 1.0
+
+    def test_wide_ops_spill(self, report, placement):
+        wide = [a for a in report.assignments if a.units_wanted > 20]
+        assert wide
+        for a in wide:
+            assert len(a.grants) > 1  # must span banks
+
+
+class TestReport:
+    def test_colocated_fraction_bounds(self, report):
+        assert 0.0 < report.colocated_unit_fraction < 1.0
+
+    def test_load_imbalance_reasonable(self, report):
+        # spill-by-proximity spreads load; imbalance stays bounded
+        assert 1.0 <= report.load_imbalance < 4.0
+
+    def test_fully_colocated_ops_counted(self, report):
+        assert 0 <= report.fully_colocated_ops <= len(report.assignments)
+
+
+class TestHomeBank:
+    def test_home_bank_follows_dominant_input(self, placement):
+        graph = build_model("dcgan")
+        memory = SharedGlobalMemory(n_banks=32)
+        for spec in graph.tensors.values():
+            memory.allocate(spec)
+        mapper = LocalityMapper(placement, memory)
+        conv = next(op for op in graph.ops if op.op_type == "Conv2D")
+        home = mapper.home_bank(graph, conv)
+        banks = {memory.home_bank(t) for t in conv.inputs}
+        assert home in banks
+        # the dominant input (the activation, far larger than weights)
+        biggest = max(conv.inputs, key=lambda t: graph.tensor(t).nbytes)
+        assert home == memory.home_bank(biggest)

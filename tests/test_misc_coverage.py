@@ -1,0 +1,93 @@
+"""Remaining surface coverage: baselines registry, summary runner, misc."""
+
+import pytest
+
+from repro.baselines import CONFIGURATION_ORDER, build_configuration
+from repro.errors import ReproError
+from repro.experiments import summary
+from repro.experiments.extensions import (
+    format_inference_contrast,
+    format_multistack,
+    run_inference_contrast,
+    run_multistack,
+)
+
+
+class TestBaselineRegistry:
+    def test_order_covers_all_builders(self):
+        for name in CONFIGURATION_ORDER:
+            config, policy = build_configuration(name)
+            assert policy.name
+            policy.validate()
+
+    def test_unknown_configuration_rejected(self):
+        with pytest.raises(ReproError, match="unknown configuration"):
+            build_configuration("tpu")
+
+    def test_policies_have_distinct_semantics(self):
+        _, cpu = build_configuration("cpu")
+        _, gpu = build_configuration("gpu")
+        _, fixed = build_configuration("fixed-pim")
+        assert not cpu.uses_gpu and gpu.uses_gpu
+        assert not fixed.recursive_kernels and not fixed.operation_pipeline
+
+    def test_prog_only_scales_out_arm_pims(self):
+        config, policy = build_configuration("prog-pim")
+        assert config.prog_pim.n_pims == config.stack.banks
+        assert policy.prog_gang_limit > 1
+
+
+class TestSummaryRunner:
+    def test_artifact_list_covers_paper(self):
+        headings = [h for h, _m in summary.ARTIFACTS]
+        assert headings[0].startswith("Table I")
+        assert sum("Figure" in h for h in headings) == 11
+
+    def test_skip_tokens(self):
+        # skip everything: cheap smoke of the skip path
+        text = summary.run_all(
+            skip=tuple(h for h, _m in summary.ARTIFACTS)
+        )
+        assert text.count("(skipped)") == len(summary.ARTIFACTS)
+
+
+class TestExtensionFormatting:
+    def test_multistack_report(self):
+        result = run_multistack(models=("dcgan",), stack_counts=(1, 2))
+        text = format_multistack(result)
+        assert "dcgan" in text and "Speedup" in text
+        assert result["dcgan"][2].speedup_vs_1 > 1.0
+
+    def test_inference_contrast_report(self):
+        result = run_inference_contrast(models=("dcgan",))
+        text = format_inference_contrast(result)
+        assert "dcgan" in text
+        row = result["dcgan"]
+        assert 0.5 < row.backward_flop_share < 0.8
+        assert row.infer_step_s < row.train_step_s
+
+
+class TestPackageSurface:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports(self):
+        import repro
+
+        cfg = repro.default_config()
+        assert cfg.fixed_pim.n_units == 444
+
+    def test_all_public_modules_importable(self):
+        import importlib
+
+        for mod in (
+            "repro.nn", "repro.nn.models", "repro.nn.numeric",
+            "repro.nn.inference", "repro.profiling", "repro.hardware",
+            "repro.hardware.dram_timing", "repro.pimcl", "repro.runtime",
+            "repro.runtime.locality", "repro.sim", "repro.sim.timeline",
+            "repro.sim.trace_io", "repro.baselines", "repro.experiments",
+            "repro.cli",
+        ):
+            importlib.import_module(mod)

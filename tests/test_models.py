@@ -1,0 +1,122 @@
+"""Model-zoo structure checks against the paper's Table I invocations."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.nn.models import (
+    ALL_MODELS,
+    CNN_MODELS,
+    NON_CNN_MODELS,
+    available_models,
+    build_model,
+)
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: build_model(name) for name in ALL_MODELS}
+
+
+class TestRegistry:
+    def test_model_lists(self):
+        assert set(CNN_MODELS) | set(NON_CNN_MODELS) == set(ALL_MODELS)
+        assert set(available_models()) == set(ALL_MODELS)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ReproError):
+            build_model("lenet")
+
+    def test_default_batch_sizes_match_paper(self, graphs):
+        # section V-C: VGG/AlexNet/Inception 32, ResNet/Word2vec 128,
+        # DCGAN 64, LSTM 20
+        assert graphs["vgg-19"].batch_size == 32
+        assert graphs["alexnet"].batch_size == 32
+        assert graphs["inception-v3"].batch_size == 32
+        assert graphs["resnet-50"].batch_size == 128
+        assert graphs["word2vec"].batch_size == 128
+        assert graphs["dcgan"].batch_size == 64
+        assert graphs["lstm"].batch_size == 20
+
+    def test_all_graphs_validate(self, graphs):
+        for g in graphs.values():
+            g.validate()
+
+    def test_custom_batch_size(self):
+        g = build_model("alexnet", batch_size=8)
+        assert g.batch_size == 8
+        g.validate()
+
+
+class TestTable1Invocations:
+    """Conv invocation counts per step match the paper's Table I."""
+
+    def test_vgg19(self, graphs):
+        counts = graphs["vgg-19"].invocation_counts()
+        assert counts["Conv2D"] == 16
+        assert counts["Conv2DBackpropFilter"] == 16
+        assert counts["Conv2DBackpropInput"] == 15  # first conv needs none
+
+    def test_alexnet(self, graphs):
+        counts = graphs["alexnet"].invocation_counts()
+        assert counts["Conv2D"] == 5
+        assert counts["Conv2DBackpropFilter"] == 5
+        assert counts["Conv2DBackpropInput"] == 4
+
+    def test_dcgan(self, graphs):
+        counts = graphs["dcgan"].invocation_counts()
+        # two discriminator applications x two conv layers
+        assert counts["Conv2D"] == 4
+        assert counts["Conv2DTranspose"] == 2
+        assert counts["Slice"] > 0  # paper lists Slice among DCGAN's MI ops
+        assert counts["Mul"] > 0
+
+    def test_resnet50_conv_population(self, graphs):
+        counts = graphs["resnet-50"].invocation_counts()
+        # 1 stem + 3x(3+4+6+3) bottleneck convs + 4 projection shortcuts
+        assert counts["Conv2D"] == 53
+        assert counts["FusedBatchNorm"] == 53
+        assert counts["Add"] == 16  # one residual add per block
+
+    def test_inception_has_branches(self, graphs):
+        counts = graphs["inception-v3"].invocation_counts()
+        assert counts["Conv2D"] > 80
+        assert counts["ConcatV2"] == 11  # 3A + 1redA + 4B + 1redB + 2C
+        assert counts["Slice"] > 30  # concat gradients
+
+    def test_lstm_structure(self, graphs):
+        counts = graphs["lstm"].invocation_counts()
+        assert counts["Sigmoid"] >= 3 * 12 * 2  # 3 gates x T x layers
+        assert counts["GatherV2"] == 1
+        # weights shared across time: one update per layer + projection
+        assert counts["ApplyAdam"] == 7
+
+    def test_word2vec_structure(self, graphs):
+        counts = graphs["word2vec"].invocation_counts()
+        assert counts["GatherV2"] == 1
+        assert counts["UnsortedSegmentSum"] == 1
+        assert counts["NceLoss"] == 1
+
+
+class TestScale:
+    def test_vgg_flop_scale(self, graphs):
+        # VGG-19 forward is ~19.6 GMAC/image; one step (fwd+bwd) at batch
+        # 32 lands near 1.9 TMAC
+        total = graphs["vgg-19"].total_cost()
+        assert 1.5e12 < total.macs < 2.5e12
+
+    def test_resnet_working_set_exceeds_gpu_memory(self, graphs):
+        # the basis of the paper's ResNet-over-GPU result (batch 128)
+        assert graphs["resnet-50"].resident_bytes() > 11 * 1024**3
+
+    def test_other_models_fit_gpu_memory(self, graphs):
+        for name in ("vgg-19", "alexnet", "dcgan", "inception-v3"):
+            assert graphs[name].resident_bytes() < 11 * 1024**3
+
+    def test_parameter_heavy_vgg(self, graphs):
+        # VGG-19 has ~143M parameters; Adam updates them all each step
+        adam_inputs = sum(
+            g.cost.bytes_in
+            for g in graphs["vgg-19"].ops_of_type("ApplyAdam")
+        )
+        n_params = adam_inputs / (4 * 4)  # 4 tensors x 4 bytes
+        assert 1.2e8 < n_params < 1.6e8

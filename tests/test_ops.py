@@ -1,0 +1,149 @@
+"""Operation registry and cost-model constructors."""
+
+import pytest
+
+from repro.errors import UnknownOpError
+from repro.nn.ops import (
+    OP_TYPES,
+    OffloadClass,
+    Op,
+    OpCost,
+    adam_cost,
+    conv2d_cost,
+    data_movement_cost,
+    elementwise_cost,
+    matmul_cost,
+    op_type_info,
+    pool_cost,
+    reduction_cost,
+)
+
+
+class TestRegistry:
+    def test_paper_key_ops_are_registered(self):
+        for name in (
+            "MatMul", "Conv2D", "Conv2DBackpropFilter", "Conv2DBackpropInput",
+            "BiasAddGrad", "Relu", "MaxPool", "ApplyAdam", "Slice",
+        ):
+            assert name in OP_TYPES
+
+    def test_offload_classes_match_paper_examples(self):
+        # section II-A: MatMul/Conv2D decompose to multiply-add
+        assert op_type_info("MatMul").offload_class is OffloadClass.FIXED
+        assert op_type_info("Conv2D").offload_class is OffloadClass.FIXED
+        # complex ops become recursive PIM kernels (Figure 6)
+        assert (
+            op_type_info("Conv2DBackpropFilter").offload_class
+            is OffloadClass.HYBRID
+        )
+        # conditional / sampling / optimizer ops target the programmable PIM
+        for name in ("Relu", "MaxPool", "ApplyAdam"):
+            assert op_type_info(name).offload_class is OffloadClass.PROG
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(UnknownOpError):
+            op_type_info("NotAnOp")
+
+    def test_backward_convs_are_less_cpu_efficient_than_forward(self):
+        # this asymmetry produces the paper's Table I time distribution
+        fwd = op_type_info("Conv2D").cpu_compute_eff
+        assert op_type_info("Conv2DBackpropFilter").cpu_compute_eff < fwd
+        assert op_type_info("Conv2DBackpropInput").cpu_compute_eff < fwd
+
+    def test_host_traffic_factor_defaults_to_traffic_factor(self):
+        info = op_type_info("Slice")
+        assert info.cpu_traffic_factor is None
+        assert info.host_traffic_factor == info.traffic_factor
+
+
+class TestOpCost:
+    def test_aggregates(self):
+        c = OpCost(muls=10, adds=8, other_flops=2, bytes_in=100, bytes_out=50)
+        assert c.mac_flops == 18
+        assert c.macs == 10
+        assert c.flops == 20
+        assert c.bytes_total == 150
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            OpCost(muls=-1)
+
+    def test_rejects_zero_parallelism(self):
+        with pytest.raises(ValueError):
+            OpCost(parallelism=0)
+
+
+class TestCostConstructors:
+    def test_conv2d_cost_macs(self):
+        # 1x8x8x16 output, 3x3x4 filter taps
+        c = conv2d_cost(1, 8, 8, 4, 16, (3, 3), 1000, 500, 2000)
+        assert c.muls == 8 * 8 * 16 * 9 * 4
+        assert c.adds == c.muls
+        assert c.parallelism == 3 * 3 * 4  # one pair per filter tap
+        assert c.bytes_in == 1500
+        assert c.bytes_out == 2000
+
+    def test_conv2d_index_overhead(self):
+        c = conv2d_cost(1, 8, 8, 4, 16, (3, 3), 0, 0, 0, index_overhead=1.0)
+        assert c.other_flops == 8 * 8 * 16
+
+    def test_matmul_cost(self):
+        c = matmul_cost(32, 100, 50)
+        assert c.muls == 32 * 100 * 50
+        assert c.parallelism == 100  # the reduction dimension
+        assert c.bytes_in == (32 * 100 + 100 * 50) * 4
+        assert c.bytes_out == 32 * 50 * 4
+
+    def test_elementwise_mac_vs_other(self):
+        mac = elementwise_cost(1000, mac=True)
+        other = elementwise_cost(1000, mac=False)
+        assert mac.mac_flops == 1000 and mac.other_flops == 0
+        assert other.other_flops == 1000 and other.mac_flops == 0
+
+    def test_reduction_cost(self):
+        c = reduction_cost(10_000, 64)
+        assert c.adds == 10_000
+        assert c.parallelism == 64  # one lane per output element
+
+    def test_pool_cost_counts_window_comparisons(self):
+        c = pool_cost(2, 4, 4, 8, (2, 2), 1000, 500)
+        assert c.other_flops == 2 * 4 * 4 * 8 * 4
+        assert c.parallelism == 8
+
+    def test_data_movement_cost_has_no_flops(self):
+        c = data_movement_cost(4096)
+        assert c.flops == 0
+        assert c.bytes_total == 8192
+
+    def test_adam_cost_touches_parameter_state(self):
+        n = 1000
+        c = adam_cost(n)
+        assert c.muls == 4 * n and c.adds == 3 * n and c.other_flops == 2 * n
+        # parameter + gradient + two moments in, parameter + moments out
+        assert c.bytes_in == 4 * n * 4
+        assert c.bytes_out == 3 * n * 4
+
+
+class TestOpInstance:
+    def test_traffic_applies_type_factor(self):
+        op = Op(
+            name="x/Conv2DBackpropFilter",
+            op_type="Conv2DBackpropFilter",
+            cost=OpCost(muls=10, adds=10, bytes_in=1000, bytes_out=1000),
+        )
+        info = op.info
+        assert op.traffic_bytes == int(2000 * info.traffic_factor)
+        assert op.host_traffic_bytes == int(2000 * info.host_traffic_factor)
+        assert op.host_traffic_bytes > op.traffic_bytes  # TF kernels thrash
+
+    def test_staging_bytes_for_hybrid(self):
+        op = Op(
+            name="x/Conv2DBackpropInput",
+            op_type="Conv2DBackpropInput",
+            cost=OpCost(muls=10, adds=10, bytes_in=1000, bytes_out=0),
+        )
+        assert op.staging_bytes == int(1000 * op.info.stages_bytes_factor)
+
+    def test_invalid_type_rejected_at_construction(self):
+        with pytest.raises(UnknownOpError):
+            Op(name="bad", op_type="Bogus")

@@ -1,0 +1,85 @@
+"""Low-level PIM APIs (paper Table III)."""
+
+import pytest
+
+from repro.errors import ProgrammingModelError, SchedulingError
+from repro.hardware.fixed_pim import FixedPIMPool
+from repro.hardware.prog_pim import ProgPIMCluster
+from repro.nn.ops import Op, OpCost
+from repro.nn.tensor import TensorSpec
+from repro.pimcl import PimApi, PimSystemState, SharedGlobalMemory
+
+
+@pytest.fixture()
+def api():
+    memory = SharedGlobalMemory(n_banks=8)
+    memory.allocate(TensorSpec("in", (10,)))
+    memory.allocate(TensorSpec("out", (10,)))
+    state = PimSystemState(
+        fixed_pool=FixedPIMPool(16),
+        prog_cluster=ProgPIMCluster(1),
+        memory=memory,
+    )
+    return PimApi(state)
+
+
+def make_op(name="x/MatMul"):
+    return Op(
+        name=name, op_type="MatMul",
+        inputs=("in",), outputs=("out",),
+        cost=OpCost(muls=10, adds=10, parallelism=8),
+    )
+
+
+class TestOffload:
+    def test_offload_to_fixed(self, api):
+        granted = api.pim_offload(make_op(), "fixed_pim", units=8)
+        assert granted == 8
+        assert api.pim_free_capacity("fixed_pim") == 8
+
+    def test_offload_to_prog(self, api):
+        api.pim_offload(make_op(), "prog_pim")
+        assert api.pim_is_busy("prog_pim")
+
+    def test_offload_to_busy_prog_raises(self, api):
+        api.pim_offload(make_op("a/MatMul"), "prog_pim")
+        with pytest.raises(SchedulingError):
+            api.pim_offload(make_op("b/MatMul"), "prog_pim")
+
+    def test_offload_unknown_device(self, api):
+        with pytest.raises(ProgrammingModelError):
+            api.pim_offload(make_op(), "npu")
+
+
+class TestStatusAndCompletion:
+    def test_busy_tracking(self, api):
+        assert not api.pim_is_busy("fixed_pim")
+        api.pim_offload(make_op(), "fixed_pim", units=16)
+        assert api.pim_is_busy("fixed_pim")
+
+    def test_completion_releases_resources(self, api):
+        op = make_op()
+        api.pim_offload(op, "fixed_pim", units=8)
+        assert not api.pim_query_complete(op.name)
+        api.pim_mark_complete(op.name, now=1.0)
+        assert api.pim_query_complete(op.name)
+        assert api.pim_free_capacity("fixed_pim") == 16
+
+    def test_unknown_device_busy_query(self, api):
+        with pytest.raises(ProgrammingModelError):
+            api.pim_is_busy("npu")
+
+
+class TestLocate:
+    def test_locate_returns_location_and_banks(self, api):
+        op = make_op()
+        api.pim_offload(op, "fixed_pim", units=4)
+        location, banks = api.pim_locate(op)
+        assert location == "fixed_pim"
+        assert banks  # tensors are stack-resident
+        for bank in banks:
+            assert 0 <= bank < 8
+
+    def test_locate_unplaced_op(self, api):
+        location, banks = api.pim_locate(make_op())
+        assert location is None

@@ -1,0 +1,95 @@
+"""Energy model: device powers, memory-access energy, frequency effects."""
+
+import pytest
+
+from repro.config import default_config
+from repro.hardware.power import DeviceUsage, EnergyModel
+
+
+class TestEnergyModel:
+    def test_zero_usage_zero_dynamic_device_energy(self):
+        model = EnergyModel(default_config())
+        e = model.energy(DeviceUsage(), makespan_s=0.0)
+        assert e.dynamic_j == 0.0
+        assert e.static_j == 0.0
+
+    def test_cpu_busy_time_dominates_cpu_energy(self):
+        model = EnergyModel(default_config())
+        e = model.energy(DeviceUsage(cpu_busy_s=10.0), makespan_s=10.0)
+        assert e.by_device["cpu"] == pytest.approx(
+            10.0 * default_config().cpu.dynamic_power_w
+        )
+
+    def test_host_runtime_power_when_cpu_idle(self):
+        model = EnergyModel(default_config())
+        idle = model.energy(DeviceUsage(cpu_busy_s=0.0), makespan_s=10.0)
+        busy = model.energy(DeviceUsage(cpu_busy_s=10.0), makespan_s=10.0)
+        assert idle.by_device["host_runtime"] > 0
+        assert busy.by_device["host_runtime"] == 0.0
+
+    def test_external_bytes_cost_more_than_internal(self):
+        cfg = default_config()
+        model = EnergyModel(cfg)
+        ext = model.energy(DeviceUsage(external_bytes=1e9), makespan_s=1.0)
+        internal = model.energy(DeviceUsage(internal_bytes=1e9), makespan_s=1.0)
+        # compare pure per-byte costs (internal runs add stack-active power)
+        assert (
+            cfg.stack.external_pj_per_byte > cfg.stack.internal_pj_per_byte
+        )
+        assert ext.memory_j > internal.memory_j
+
+    def test_stack_active_power_only_with_internal_traffic(self):
+        model = EnergyModel(default_config())
+        with_pim = model.energy(DeviceUsage(internal_bytes=1), makespan_s=2.0)
+        without = model.energy(DeviceUsage(external_bytes=1), makespan_s=2.0)
+        assert "stack_active" in with_pim.by_device
+        assert "stack_active" not in without.by_device
+
+    def test_gpu_static_power_included_only_when_present(self):
+        cfg = default_config()
+        with_gpu = EnergyModel(cfg, gpu_present=True).energy(
+            DeviceUsage(), makespan_s=1.0
+        )
+        without = EnergyModel(cfg, gpu_present=False).energy(
+            DeviceUsage(), makespan_s=1.0
+        )
+        assert with_gpu.static_j - without.static_j == pytest.approx(
+            cfg.gpu.static_power_w
+        )
+
+    def test_pim_dynamic_power_scales_with_frequency(self):
+        usage = DeviceUsage(fixed_unit_busy_s=100.0, prog_busy_s=1.0)
+        base = EnergyModel(default_config()).energy(usage, makespan_s=1.0)
+        fast = EnergyModel(default_config().with_frequency_scale(4.0)).energy(
+            usage, makespan_s=1.0
+        )
+        assert fast.by_device["fixed_pim"] == pytest.approx(
+            4 * base.by_device["fixed_pim"]
+        )
+        assert fast.by_device["prog_pim"] == pytest.approx(
+            4 * base.by_device["prog_pim"]
+        )
+
+    def test_edp_and_average_power(self):
+        model = EnergyModel(default_config())
+        e = model.energy(DeviceUsage(cpu_busy_s=1.0), makespan_s=2.0)
+        assert e.edp() == pytest.approx(e.total_j * 2.0)
+        assert e.average_power_w == pytest.approx(e.total_j / 2.0)
+
+    def test_negative_makespan_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(default_config()).energy(DeviceUsage(), makespan_s=-1.0)
+
+    def test_usage_merge(self):
+        a = DeviceUsage(cpu_busy_s=1.0, internal_bytes=10)
+        b = DeviceUsage(cpu_busy_s=2.0, gpu_bytes=5)
+        merged = a.merged_with(b)
+        assert merged.cpu_busy_s == 3.0
+        assert merged.internal_bytes == 10
+        assert merged.gpu_bytes == 5
+
+    def test_dynamic_total_excludes_static(self):
+        model = EnergyModel(default_config())
+        e = model.energy(DeviceUsage(cpu_busy_s=1.0), makespan_s=5.0)
+        assert e.dynamic_total_j == pytest.approx(e.dynamic_j + e.memory_j)
+        assert e.total_j == pytest.approx(e.dynamic_total_j + e.static_j)

@@ -1,0 +1,131 @@
+"""Profiling framework: Table I characterization and Figure 2 classes."""
+
+import pytest
+
+from repro.nn.models import build_model
+from repro.profiling import (
+    CACHE_LINE_BYTES,
+    ClassificationThresholds,
+    OpCategory,
+    WorkloadProfiler,
+    category_members,
+    classify_workload,
+    sample_counters,
+)
+from repro.hardware.cpu import CpuModel
+from repro.config import default_config
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    profiler = WorkloadProfiler()
+    return {m: profiler.profile(build_model(m)) for m in ("vgg-19", "alexnet")}
+
+
+class TestWorkloadProfile:
+    def test_shares_sum_to_one(self, profiles):
+        for p in profiles.values():
+            assert sum(t.time_share for t in p.by_type) == pytest.approx(1.0)
+            assert sum(t.memory_share for t in p.by_type) == pytest.approx(1.0)
+
+    def test_per_op_totals_match(self, profiles):
+        p = profiles["vgg-19"]
+        assert p.step_time_s == pytest.approx(sum(o.time_s for o in p.per_op))
+        assert p.total_memory_bytes == sum(o.memory_bytes for o in p.per_op)
+
+    def test_vgg_top5_ci_matches_table1_set(self, profiles):
+        top = {t.op_type for t in profiles["vgg-19"].top_compute(5)}
+        # the paper's five: CBF, CBI, BiasAddGrad, Conv2D, MaxPoolGrad
+        assert top == {
+            "Conv2DBackpropFilter", "Conv2DBackpropInput", "BiasAddGrad",
+            "Conv2D", "MaxPoolGrad",
+        }
+
+    def test_vgg_cbf_dominates_time(self, profiles):
+        top = profiles["vgg-19"].top_compute(1)[0]
+        assert top.op_type == "Conv2DBackpropFilter"
+        assert 0.25 < top.time_share < 0.55  # paper: 40.15%
+
+    def test_vgg_top_mi_matches_table1_head(self, profiles):
+        top3 = [t.op_type for t in profiles["vgg-19"].top_memory(3)]
+        assert set(top3) == {
+            "Conv2DBackpropFilter", "BiasAddGrad", "Conv2DBackpropInput"
+        }
+
+    def test_top5_dominance(self, profiles):
+        """Top-5 op types hold the overwhelming share (paper: >95% time,
+        >98% of memory accesses)."""
+        for p in profiles.values():
+            assert sum(t.time_share for t in p.top_compute(5)) > 0.90
+            assert sum(t.memory_share for t in p.top_memory(5)) > 0.85
+
+    def test_alexnet_biasaddgrad_memory_heavy(self, profiles):
+        # paper Table I: BiasAddGrad tops AlexNet's MI list (44.64%)
+        top2 = {t.op_type for t in profiles["alexnet"].top_memory(2)}
+        assert "BiasAddGrad" in top2
+
+    def test_coverage_helper(self, profiles):
+        p = profiles["vgg-19"]
+        t_cov, m_cov = p.coverage(
+            ["Conv2DBackpropFilter", "Conv2DBackpropInput"]
+        )
+        assert 0.5 < t_cov < 1.0
+        assert 0.3 < m_cov < 1.0
+
+    def test_type_profile_lookup(self, profiles):
+        p = profiles["vgg-19"]
+        assert p.type_profile("Conv2D").invocations == 16
+        assert p.type_profile("NotAType") is None
+
+
+class TestCounters:
+    def test_counter_sample_consistency(self):
+        g = build_model("alexnet")
+        conv = next(op for op in g.ops if op.op_type == "Conv2D")
+        cpu = CpuModel(default_config().cpu)
+        counters = sample_counters(conv, cpu.op_timing(conv), default_config().cpu)
+        assert counters.cycles > 0
+        assert counters.instructions > conv.cost.mac_flops
+        assert counters.main_memory_bytes == pytest.approx(
+            conv.host_traffic_bytes, abs=CACHE_LINE_BYTES
+        )
+
+
+class TestClassification:
+    def _classify(self, model):
+        g = build_model(model)
+        profile = WorkloadProfiler().profile(g)
+        flops = {}
+        for op in g.ops:
+            flops[op.op_type] = flops.get(op.op_type, 0) + op.cost.flops
+        return classify_workload(profile, flops)
+
+    def test_conv_backprops_are_class2(self):
+        classes = self._classify("vgg-19")
+        assert (
+            classes["Conv2DBackpropFilter"]
+            is OpCategory.COMPUTE_AND_MEMORY_INTENSIVE
+        )
+
+    def test_bookkeeping_is_negligible(self):
+        classes = self._classify("vgg-19")
+        assert classes["Reshape"] is OpCategory.NEGLIGIBLE
+
+    def test_category_members_sorted(self):
+        classes = self._classify("alexnet")
+        members = category_members(
+            classes, OpCategory.COMPUTE_AND_MEMORY_INTENSIVE
+        )
+        assert members == sorted(members)
+        assert "Conv2DBackpropFilter" in members
+
+    def test_thresholds_are_tunable(self):
+        g = build_model("alexnet")
+        profile = WorkloadProfiler().profile(g)
+        flops = {op.op_type: op.cost.flops for op in g.ops}
+        strict = classify_workload(
+            profile, flops,
+            ClassificationThresholds(time_share_threshold=0.99,
+                                     memory_share_threshold=0.99),
+        )
+        assert all(c is OpCategory.NEGLIGIBLE for c in strict.values())

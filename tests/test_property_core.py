@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import StackConfig
+from repro.hardware.fixed_pim import FixedPIMPool
+from repro.hardware.hmc import StackGeometry
+from repro.hardware.placement import place_fixed_pims, validate_thermal
+from repro.nn.ops import OpCost, conv2d_cost, elementwise_cost, matmul_cost
+from repro.pimcl.codegen import _split_mac, generate_binaries
+from repro.pimcl.kernel import BinaryKind, PhaseKind
+from repro.nn.ops import Op
+from repro.sim.engine import Engine
+
+
+# ---------------------------------------------------------------------------
+# placement
+# ---------------------------------------------------------------------------
+@given(n_units=st.integers(min_value=0, max_value=5000))
+@settings(max_examples=60)
+def test_placement_always_sums_exactly(n_units):
+    geo = StackGeometry(StackConfig())
+    placement = place_fixed_pims(geo, n_units)
+    assert placement.total_units == n_units
+    assert all(u >= 0 for u in placement.units_per_bank)
+    assert len(placement.units_per_bank) == 32
+
+
+@given(n_units=st.integers(min_value=32, max_value=2000))
+@settings(max_examples=40)
+def test_placement_respects_thermal_policy(n_units):
+    geo = StackGeometry(StackConfig())
+    placement = place_fixed_pims(geo, n_units)
+    validate_thermal(placement, geo)  # never raises
+
+
+# ---------------------------------------------------------------------------
+# work splitting (binary generation)
+# ---------------------------------------------------------------------------
+@given(
+    total=st.integers(min_value=0, max_value=10**12),
+    chunks=st.integers(min_value=1, max_value=64),
+)
+def test_split_mac_conserves_and_balances(total, chunks):
+    parts = _split_mac(total, chunks)
+    assert sum(parts) == total
+    assert len(parts) == chunks
+    assert max(parts) - min(parts) <= 1
+
+
+@given(
+    muls=st.integers(min_value=1, max_value=10**9),
+    other=st.integers(min_value=0, max_value=10**6),
+    nbytes=st.integers(min_value=0, max_value=10**9),
+)
+@settings(max_examples=60)
+def test_hybrid_plan_conserves_work(muls, other, nbytes):
+    op = Op(
+        name="x/Conv2DBackpropFilter",
+        op_type="Conv2DBackpropFilter",
+        cost=OpCost(muls=muls, adds=muls, other_flops=other,
+                    bytes_in=nbytes, bytes_out=0),
+    )
+    plan = generate_binaries(op).binary(BinaryKind.PROG).plan
+    assert plan.total_macs == op.cost.macs
+    assert plan.total_other_flops == other
+    # phases alternate with COMPLEX at both ends
+    kinds = [p.kind for p in plan]
+    assert kinds[0] is PhaseKind.COMPLEX and kinds[-1] is PhaseKind.COMPLEX
+    # total bytes moved across phases equals the op's traffic estimate
+    assert sum(p.bytes_moved for p in plan) <= op.traffic_bytes + len(plan)
+
+
+# ---------------------------------------------------------------------------
+# cost constructors
+# ---------------------------------------------------------------------------
+@given(
+    m=st.integers(min_value=1, max_value=512),
+    k=st.integers(min_value=1, max_value=512),
+    n=st.integers(min_value=1, max_value=512),
+)
+def test_matmul_cost_is_symmetric_in_flops(m, k, n):
+    a = matmul_cost(m, k, n)
+    b = matmul_cost(n, k, m)
+    assert a.muls == b.muls == m * k * n
+
+
+@given(
+    batch=st.integers(min_value=1, max_value=16),
+    hw=st.integers(min_value=1, max_value=32),
+    c_in=st.integers(min_value=1, max_value=64),
+    c_out=st.integers(min_value=1, max_value=64),
+    kernel=st.sampled_from([(1, 1), (3, 3), (5, 5)]),
+)
+@settings(max_examples=60)
+def test_conv_cost_positive_and_consistent(batch, hw, c_in, c_out, kernel):
+    c = conv2d_cost(batch, hw, hw, c_in, c_out, kernel, 0, 0, 0)
+    assert c.muls == c.adds > 0
+    assert c.parallelism == kernel[0] * kernel[1] * c_in
+
+
+@given(numel=st.integers(min_value=1, max_value=10**8))
+def test_elementwise_cost_work_matches_elements(numel):
+    c = elementwise_cost(numel, mac=True)
+    assert c.mac_flops == numel
+    c2 = elementwise_cost(numel, mac=False, flops_per_element=2.0)
+    assert c2.other_flops == 2 * numel
+
+
+# ---------------------------------------------------------------------------
+# fixed pool busy-integral conservation
+# ---------------------------------------------------------------------------
+@given(
+    allocations=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=40),  # units
+            st.floats(min_value=0.01, max_value=5.0),  # duration
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=50)
+def test_pool_busy_integral_equals_sum_of_holdings(allocations):
+    pool = FixedPIMPool(40)
+    now = 0.0
+    expected = 0.0
+    for i, (units, duration) in enumerate(allocations):
+        granted = pool.allocate(f"k{i}", units, now)
+        assert granted == min(units, 40)
+        end = now + duration
+        expected += granted * duration
+        pool.release(f"k{i}", end)
+        now = end
+    assert math.isclose(pool.busy_unit_seconds(now), expected, rel_tol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# event engine ordering
+# ---------------------------------------------------------------------------
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50
+    )
+)
+@settings(max_examples=50)
+def test_engine_processes_events_in_nondecreasing_time(delays):
+    engine = Engine()
+    fired = []
+    for d in delays:
+        engine.at(d, lambda d=d: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

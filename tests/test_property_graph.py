@@ -1,0 +1,110 @@
+"""Property-based tests over randomly generated training graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.graph import merge_graphs
+from repro.nn.layers import GraphBuilder
+from repro.sim.tracegen import generate_trace
+
+
+@st.composite
+def random_mlp(draw):
+    """A random MLP training graph (dense/dropout/relu stack)."""
+    batch = draw(st.integers(min_value=1, max_value=8))
+    in_dim = draw(st.integers(min_value=1, max_value=32))
+    n_layers = draw(st.integers(min_value=1, max_value=5))
+    widths = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=64),
+            min_size=n_layers,
+            max_size=n_layers,
+        )
+    )
+    classes = draw(st.integers(min_value=2, max_value=16))
+    with_dropout = draw(st.booleans())
+
+    b = GraphBuilder("mlp", batch_size=batch)
+    x = b.input((batch, in_dim))
+    for i, width in enumerate(widths):
+        x = b.dense(x, width, name=f"fc{i}")
+        if with_dropout:
+            x = b.dropout(x, name=f"drop{i}")
+    x = b.dense(x, classes, activation=None, name="logits")
+    b.softmax_loss(x, classes)
+    return b.finish()
+
+
+@given(graph=random_mlp())
+@settings(max_examples=30, deadline=None)
+def test_random_graphs_are_acyclic_and_complete(graph):
+    order = graph.topological_order()
+    assert len(order) == graph.num_ops
+    # every op's predecessors appear earlier in the topological order
+    seen = set()
+    for op in order:
+        assert graph.predecessors(op.name) <= seen
+        seen.add(op.name)
+
+
+@given(graph=random_mlp())
+@settings(max_examples=20, deadline=None)
+def test_every_trainable_parameter_gets_one_update(graph):
+    updates = graph.param_update_ops
+    matmul_weights = [
+        t for t in graph.tensors
+        if t.endswith("/weights") or t.endswith("/bias")
+    ]
+    assert set(updates) == set(matmul_weights)
+    # each update op reads the parameter it writes
+    for param, op_name in updates.items():
+        op = graph.op(op_name)
+        assert param in op.inputs
+
+
+@given(graph=random_mlp(), steps=st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_trace_dependences_stay_within_one_step_back(graph, steps):
+    tasks = generate_trace(graph, steps)
+    for task in tasks:
+        for dep in task.deps:
+            dep_step = int(dep.split("/", 1)[0][1:])
+            assert task.step - 1 <= dep_step <= task.step
+
+
+@given(graph=random_mlp())
+@settings(max_examples=15, deadline=None)
+def test_merge_with_self_doubles_ops(graph):
+    import copy
+
+    other = copy.deepcopy(graph)
+    other.name = graph.name + "-b"
+    merged = merge_graphs("pair", [graph, other])
+    assert merged.num_ops == 2 * graph.num_ops
+    merged.validate()
+
+
+@given(graph=random_mlp())
+@settings(max_examples=15, deadline=None)
+def test_total_cost_is_sum_over_ops(graph):
+    total = graph.total_cost()
+    assert total.mac_flops == sum(op.cost.mac_flops for op in graph.ops)
+    assert total.bytes_total == sum(op.cost.bytes_total for op in graph.ops)
+
+
+# ---------------------------------------------------------------------------
+# numeric gradient checking over random feed-forward graphs
+# ---------------------------------------------------------------------------
+from repro.nn.numeric import check_gradients, random_feeds  # noqa: E402
+
+
+@given(graph=random_mlp(), seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=10, deadline=None)
+def test_random_mlp_gradients_verify(graph, seed):
+    """Every randomly generated MLP's backward pass matches finite
+    differences — the strongest invariant the substrate offers."""
+    errors = check_gradients(
+        graph, random_feeds(graph, seed=seed), samples_per_param=2,
+        seed=seed,
+    )
+    assert max(errors.values()) < 1e-4

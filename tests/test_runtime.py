@@ -1,0 +1,228 @@
+"""Runtime system: selection, scheduler policy, registers, PIM-side ledger."""
+
+import pytest
+
+from repro.config import default_config
+from repro.errors import HardwareConfigError, SchedulingError
+from repro.hardware.fixed_pim import FixedPIMPool
+from repro.hardware.hmc import StackGeometry
+from repro.hardware.placement import place_fixed_pims
+from repro.hardware.prog_pim import ProgPIMCluster
+from repro.nn.models import build_model
+from repro.profiling import WorkloadProfiler
+from repro.runtime import (
+    HeterogeneousPimRuntime,
+    HeteroPimPolicy,
+    PimSideRuntime,
+    UtilizationRegisters,
+    rank_operations,
+    select_candidates,
+)
+from repro.runtime.scheduler import MixedWorkloadPolicy
+
+
+@pytest.fixture(scope="module")
+def vgg_profile():
+    return WorkloadProfiler().profile(build_model("vgg-19"))
+
+
+class TestSelection:
+    def test_global_index_is_sum_of_ranks(self, vgg_profile):
+        ranked = rank_operations(vgg_profile)
+        for r in ranked:
+            assert r.global_index == r.time_rank + r.memory_rank
+        # sorted by ascending global index
+        indexes = [r.global_index for r in ranked]
+        assert indexes == sorted(indexes)
+
+    def test_hottest_type_ranks_first(self, vgg_profile):
+        ranked = rank_operations(vgg_profile)
+        # Conv2DBackpropFilter tops both VGG-19 lists in Table I
+        assert ranked[0].op_type == "Conv2DBackpropFilter"
+        assert ranked[0].global_index <= ranked[1].global_index
+
+    def test_selection_covers_target(self, vgg_profile):
+        sel = select_candidates(vgg_profile, coverage=0.90)
+        assert sel.time_coverage >= 0.90
+        assert sel.target_coverage == 0.90
+
+    def test_selected_types_include_conv_backprops(self, vgg_profile):
+        sel = select_candidates(vgg_profile)
+        assert "Conv2DBackpropFilter" in sel.candidate_types
+        assert "Conv2DBackpropInput" in sel.candidate_types
+
+    def test_candidates_are_instances_of_selected_types(self, vgg_profile):
+        sel = select_candidates(vgg_profile)
+        by_name = {p.op_name: p.op_type for p in vgg_profile.per_op}
+        for name in sel.candidates:
+            assert by_name[name] in sel.candidate_types
+        assert sel.is_candidate(next(iter(sel.candidates)))
+
+    def test_full_coverage_selects_all_timed_work(self, vgg_profile):
+        sel = select_candidates(vgg_profile, coverage=1.0)
+        assert sel.time_coverage == pytest.approx(1.0)
+        # every op type with nonzero time is selected (zero-cost
+        # bookkeeping types may fall outside the coverage sum)
+        timed = {t.op_type for t in vgg_profile.by_type if t.time_s > 0}
+        assert timed <= sel.candidate_types
+
+    def test_invalid_coverage_rejected(self, vgg_profile):
+        with pytest.raises(SchedulingError):
+            select_candidates(vgg_profile, coverage=0.0)
+        with pytest.raises(SchedulingError):
+            select_candidates(vgg_profile, coverage=1.5)
+
+
+class TestHeteroPolicy:
+    @pytest.fixture(scope="class")
+    def prepared(self):
+        policy = HeteroPimPolicy()
+        policy.prepare(build_model("alexnet"), default_config())
+        return policy
+
+    def test_placement_by_offload_class(self, prepared):
+        g = build_model("alexnet")
+        conv = next(op for op in g.ops if op.op_type == "Conv2D")
+        cbf = next(op for op in g.ops if op.op_type == "Conv2DBackpropFilter")
+        relu = next(op for op in g.ops if op.op_type == "Relu")
+        reshape = next(op for op in g.ops if op.op_type == "Reshape")
+        assert prepared.placements(conv) == ("fixed", "cpu")
+        assert prepared.placements(cbf) == ("hybrid", "cpu")
+        assert prepared.placements(relu) == ("prog", "cpu")
+        assert prepared.placements(reshape) == ("cpu",)
+
+    def test_pipeline_depth_follows_op_flag(self):
+        on = HeteroPimPolicy(operation_pipeline=True)
+        off = HeteroPimPolicy(operation_pipeline=False)
+        on.prepare(build_model("dcgan"), default_config())
+        off.prepare(build_model("dcgan"), default_config())
+        assert on.pipeline_depth >= 1
+        assert off.pipeline_depth == 0
+
+
+class TestMixedWorkloadPolicy:
+    def test_restricted_ops_avoid_the_pool(self):
+        from repro.nn.graph import merge_graphs
+
+        cnn = build_model("dcgan")
+        tenant = build_model("word2vec")
+        merged = merge_graphs("co", [cnn, tenant])
+        policy = MixedWorkloadPolicy(frozenset({"word2vec"}))
+        policy.prepare(merged, default_config())
+        tenant_matmul = next(
+            op for op in merged.ops
+            if op.attrs.get("source_model") == "word2vec"
+            and op.op_type == "MatMul"
+        )
+        assert "fixed" not in policy.placements(tenant_matmul)
+        assert policy.priority(tenant_matmul) == 1
+        cnn_conv = next(
+            op for op in merged.ops
+            if op.attrs.get("source_model") == "dcgan"
+            and op.op_type == "Conv2D"
+        )
+        assert policy.placements(cnn_conv) == ("fixed", "cpu")
+        assert policy.priority(cnn_conv) == 0
+
+    def test_restrict_untagged(self):
+        g = build_model("word2vec")
+        policy = MixedWorkloadPolicy(frozenset(), restrict_untagged=True)
+        policy.prepare(g, default_config())
+        matmul = next(op for op in g.ops if op.op_type == "MatMul")
+        assert "fixed" not in policy.placements(matmul)
+
+
+class TestRegisters:
+    def _registers(self, n_units=444):
+        geometry = StackGeometry(default_config().stack)
+        placement = place_fixed_pims(geometry, n_units)
+        pool = FixedPIMPool(n_units)
+        cluster = ProgPIMCluster(1)
+        return UtilizationRegisters(pool, cluster, placement), pool, cluster
+
+    def test_idle_snapshot(self):
+        regs, _pool, _cluster = self._registers()
+        snap = regs.snapshot()
+        assert not any(snap.bank_busy)
+        assert snap.any_fixed_idle and snap.any_prog_idle
+
+    def test_busy_bits_fill_with_allocation(self):
+        regs, pool, cluster = self._registers()
+        pool.allocate("k", 444, now=0.0)
+        cluster.acquire("op", now=0.0)
+        snap = regs.snapshot()
+        assert all(snap.bank_busy)
+        assert all(snap.prog_pim_busy)
+        assert regs.idle_bank_count() == 0
+
+    def test_partial_allocation_leaves_idle_banks(self):
+        regs, pool, _ = self._registers()
+        pool.allocate("k", 434, now=0.0)  # all but 10 units
+        assert 0 < regs.idle_bank_count() < 32
+
+    def test_mismatched_placement_rejected(self):
+        geometry = StackGeometry(default_config().stack)
+        placement = place_fixed_pims(geometry, 100)
+        with pytest.raises(HardwareConfigError):
+            UtilizationRegisters(FixedPIMPool(444), ProgPIMCluster(1), placement)
+
+
+class TestPimSideRuntime:
+    def test_ledger_tracks_progress(self):
+        rt = PimSideRuntime()
+        rt.begin_op("conv/CBF", muls=100, adds=100)
+        rt.record_sub_kernel("conv/CBF", muls=40, adds=40)
+        entry = rt.entry("conv/CBF")
+        assert entry.remaining_muls == 60
+        assert entry.progress == pytest.approx(0.4)
+        rt.record_sub_kernel("conv/CBF", muls=60, adds=60)
+        rt.finish_op("conv/CBF")
+        assert rt.completion.is_done("conv/CBF")
+        assert rt.recursive_dispatches == 2
+
+    def test_over_report_rejected(self):
+        rt = PimSideRuntime()
+        rt.begin_op("op", muls=10, adds=10)
+        with pytest.raises(SchedulingError):
+            rt.record_sub_kernel("op", muls=11, adds=0)
+
+    def test_duplicate_in_flight_rejected(self):
+        rt = PimSideRuntime()
+        rt.begin_op("op", muls=1, adds=1)
+        with pytest.raises(SchedulingError):
+            rt.begin_op("op", muls=1, adds=1)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SchedulingError):
+            PimSideRuntime().finish_op("ghost")
+
+    def test_in_flight_listing(self):
+        rt = PimSideRuntime()
+        rt.begin_op("a", 1, 1)
+        rt.begin_op("b", 1, 1)
+        rt.finish_op("a")
+        assert [e.op_name for e in rt.in_flight()] == ["b"]
+
+
+class TestHostRuntimeFacade:
+    def test_device_summary(self):
+        rt = HeterogeneousPimRuntime()
+        summary = rt.device_summary()
+        assert summary["fixed_pim"] == 444
+        assert summary["prog_pim_0"] == 4
+
+    def test_compile_produces_kernels_for_all_ops(self):
+        rt = HeterogeneousPimRuntime()
+        g = build_model("dcgan")
+        kernels = rt.compile(g)
+        assert set(kernels) == {op.name for op in g.ops}
+
+    def test_train_end_to_end(self):
+        rt = HeterogeneousPimRuntime()
+        result = rt.train(build_model("dcgan"), steps=2)
+        assert result.config_name == "Hetero PIM"
+        assert result.step_time_s > 0
+        assert rt.last_selection is not None
+
+    def test_last_selection_none_before_train(self):
+        assert HeterogeneousPimRuntime().last_selection is None

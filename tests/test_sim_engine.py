@@ -1,0 +1,133 @@
+"""Discrete-event engine and activity tracker."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.activity import COMPUTE, DATA_MOVEMENT, SYNC, ActivityTracker
+from repro.sim.engine import Engine
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        log = []
+        engine.at(2.0, lambda: log.append("b"))
+        engine.at(1.0, lambda: log.append("a"))
+        engine.at(3.0, lambda: log.append("c"))
+        engine.run()
+        assert log == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = Engine()
+        log = []
+        engine.at(1.0, lambda: log.append("first"))
+        engine.at(1.0, lambda: log.append("second"))
+        engine.run()
+        assert log == ["first", "second"]
+
+    def test_after_is_relative(self):
+        engine = Engine()
+        times = []
+        engine.at(5.0, lambda: engine.after(2.0, lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [7.0]
+
+    def test_cancellation(self):
+        engine = Engine()
+        log = []
+        handle = engine.at(1.0, lambda: log.append("x"))
+        handle.cancel()
+        engine.run()
+        assert log == []
+        assert handle.cancelled
+
+    def test_past_scheduling_rejected(self):
+        engine = Engine()
+        engine.at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().after(-1.0, lambda: None)
+
+    def test_run_until(self):
+        engine = Engine()
+        log = []
+        engine.at(1.0, lambda: log.append(1))
+        engine.at(10.0, lambda: log.append(10))
+        engine.run(until=5.0)
+        assert log == [1]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_event_budget_guards_livelock(self):
+        engine = Engine()
+
+        def rearm():
+            engine.after(0.0, rearm)
+
+        engine.after(0.0, rearm)
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+
+class TestActivityTracker:
+    def test_single_activity_buckets(self):
+        t = ActivityTracker()
+        t.begin(COMPUTE, 0.0)
+        t.end(COMPUTE, 2.0)
+        b = t.breakdown(2.0)
+        assert b.operation_s == pytest.approx(2.0)
+        assert b.data_movement_s == 0.0
+
+    def test_priority_compute_over_dm_over_sync(self):
+        t = ActivityTracker()
+        t.begin(SYNC, 0.0)
+        t.begin(DATA_MOVEMENT, 1.0)
+        t.begin(COMPUTE, 2.0)
+        t.end(COMPUTE, 3.0)
+        t.end(DATA_MOVEMENT, 4.0)
+        t.end(SYNC, 5.0)
+        b = t.breakdown(5.0)
+        assert b.sync_s == pytest.approx(2.0)         # [0,1) and [4,5)
+        assert b.data_movement_s == pytest.approx(2.0)  # [1,2) and [3,4)
+        assert b.operation_s == pytest.approx(1.0)    # [2,3)
+
+    def test_idle_after_start_counts_as_sync(self):
+        t = ActivityTracker()
+        t.begin(COMPUTE, 0.0)
+        t.end(COMPUTE, 1.0)
+        b = t.breakdown(3.0)  # 2s dependency stall at the end
+        assert b.sync_s == pytest.approx(2.0)
+
+    def test_leading_idle_not_counted(self):
+        t = ActivityTracker()
+        t.begin(COMPUTE, 5.0)
+        t.end(COMPUTE, 6.0)
+        b = t.breakdown(6.0)
+        assert b.total_s == pytest.approx(1.0)
+
+    def test_unbalanced_end_rejected(self):
+        t = ActivityTracker()
+        with pytest.raises(SimulationError):
+            t.end(COMPUTE, 1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            ActivityTracker().begin("gossip", 0.0)
+
+    def test_time_backwards_rejected(self):
+        t = ActivityTracker()
+        t.begin(COMPUTE, 5.0)
+        with pytest.raises(SimulationError):
+            t.end(COMPUTE, 4.0)
+
+    def test_breakdown_scaling(self):
+        t = ActivityTracker()
+        t.begin(COMPUTE, 0.0)
+        t.end(COMPUTE, 4.0)
+        b = t.breakdown(4.0).scaled(0.25)
+        assert b.operation_s == pytest.approx(1.0)

@@ -1,0 +1,172 @@
+"""End-to-end simulation behavior across policies."""
+
+import pytest
+
+from repro.baselines import (
+    CpuPolicy,
+    GpuPolicy,
+    build_configuration,
+    make_neurocube,
+)
+from repro.config import default_config
+from repro.nn.models import build_model
+from repro.runtime.scheduler import HeteroPimPolicy
+from repro.sim.simulation import Simulation, simulate
+
+
+@pytest.fixture(scope="module")
+def alexnet():
+    return build_model("alexnet")
+
+
+@pytest.fixture(scope="module")
+def dcgan():
+    return build_model("dcgan")
+
+
+@pytest.fixture(scope="module")
+def results(alexnet):
+    out = {}
+    for name in ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim"):
+        cfg, pol = build_configuration(name)
+        out[name] = simulate(alexnet, pol, cfg)
+    return out
+
+
+class TestBasics:
+    def test_all_tasks_complete(self, results):
+        for r in results.values():
+            assert r.makespan_s > 0
+            assert r.events_processed > 0
+
+    def test_step_time_positive_and_below_makespan(self, results):
+        for r in results.values():
+            assert 0 < r.step_time_s <= r.makespan_s
+
+    def test_breakdown_sums_to_makespan(self, results):
+        for r in results.values():
+            assert r.breakdown.total_s == pytest.approx(r.makespan_s, rel=1e-6)
+
+    def test_single_step_run(self, alexnet):
+        cfg, pol = build_configuration("cpu")
+        r = simulate(alexnet, pol, cfg, steps=1)
+        assert r.steps == 1
+        assert r.step_time_s == pytest.approx(r.makespan_s)
+
+    def test_zero_steps_rejected(self, alexnet):
+        cfg, pol = build_configuration("cpu")
+        with pytest.raises(Exception):
+            Simulation(alexnet, pol, cfg, steps=0)
+
+
+class TestCpuBaseline:
+    def test_cpu_time_matches_profile_sum(self, alexnet, results):
+        """Sequential CPU execution ~= the profiled per-op total."""
+        from repro.profiling import WorkloadProfiler
+
+        profile = WorkloadProfiler().profile(alexnet)
+        assert results["cpu"].step_time_s == pytest.approx(
+            profile.step_time_s, rel=0.01
+        )
+
+    def test_cpu_uses_no_pim(self, results):
+        r = results["cpu"]
+        assert r.usage.fixed_unit_busy_s == 0.0
+        assert r.usage.prog_busy_s == 0.0
+        assert r.usage.internal_bytes == 0.0
+
+
+class TestGpuBaseline:
+    def test_gpu_moves_minibatch_over_pcie(self, results):
+        assert results["gpu"].usage.gpu_bytes > 0
+        assert results["gpu"].usage.external_bytes > 0  # staging
+
+    def test_gpu_much_faster_than_cpu(self, results):
+        assert results["cpu"].step_time_s > 5 * results["gpu"].step_time_s
+
+
+class TestHeteroPim:
+    def test_uses_all_three_compute_resources(self, results):
+        r = results["hetero-pim"]
+        assert r.usage.fixed_unit_busy_s > 0
+        assert r.usage.prog_busy_s > 0
+        assert r.usage.internal_bytes > 0
+
+    def test_pool_executes_the_mac_work(self, alexnet, results):
+        # nearly all MACs should run in-memory: busy unit-seconds x rate
+        cfg = default_config()
+        rate = cfg.fixed_pim.simd_width * cfg.pim_frequency_hz
+        pool_macs = results["hetero-pim"].usage.fixed_unit_busy_s * rate
+        graph_macs = alexnet.total_cost().macs * results["hetero-pim"].steps
+        assert pool_macs > 0.5 * graph_macs
+
+    def test_utilization_in_unit_range(self, results):
+        assert 0.0 < results["hetero-pim"].fixed_pim_utilization <= 1.0
+
+    def test_faster_than_all_pim_baselines(self, results):
+        hetero = results["hetero-pim"].step_time_s
+        assert results["prog-pim"].step_time_s > hetero
+        assert results["fixed-pim"].step_time_s > hetero
+
+    def test_selection_was_prepared(self, alexnet):
+        cfg, pol = build_configuration("hetero-pim")
+        simulate(alexnet, pol, cfg)
+        assert pol.selection is not None
+        assert pol.selection.time_coverage >= cfg.runtime.offload_coverage
+
+    def test_placements_require_prepare(self, alexnet):
+        policy = HeteroPimPolicy()
+        with pytest.raises(RuntimeError):
+            policy.placements(alexnet.ops[0])
+
+
+class TestFrequencyScaling:
+    def test_higher_frequency_is_faster(self, alexnet):
+        times = []
+        for scale in (1.0, 2.0, 4.0):
+            cfg, pol = build_configuration(
+                "hetero-pim", default_config().with_frequency_scale(scale)
+            )
+            times.append(simulate(alexnet, pol, cfg).step_time_s)
+        assert times[0] > times[1] > times[2]
+
+    def test_scaling_is_sublinear(self, alexnet):
+        """Host-side work and launches do not scale with the PIM clock."""
+        cfg1, pol1 = build_configuration("hetero-pim")
+        cfg4, pol4 = build_configuration(
+            "hetero-pim", default_config().with_frequency_scale(4.0)
+        )
+        t1 = simulate(alexnet, pol1, cfg1).step_time_s
+        t4 = simulate(alexnet, pol4, cfg4).step_time_s
+        assert t1 / t4 < 4.0
+
+
+class TestNeurocube:
+    def test_neurocube_between_cpu_and_hetero(self, alexnet, results):
+        cfg, pol = make_neurocube()
+        r = simulate(alexnet, pol, cfg)
+        assert results["hetero-pim"].step_time_s < r.step_time_s
+        assert r.step_time_s < results["cpu"].step_time_s
+
+
+class TestRcOpAblation:
+    def test_rc_op_improves_time_and_utilization(self, dcgan):
+        from repro.baselines import make_hetero_pim
+
+        cfg_off, pol_off = make_hetero_pim(
+            default_config(), recursive_kernels=False, operation_pipeline=False
+        )
+        cfg_on, pol_on = make_hetero_pim(default_config())
+        off = simulate(dcgan, pol_off, cfg_off)
+        on = simulate(dcgan, pol_on, cfg_on)
+        assert on.step_time_s < off.step_time_s
+        assert on.fixed_pim_utilization > off.fixed_pim_utilization
+
+    def test_policy_names_reflect_variants(self):
+        from repro.baselines import make_hetero_pim
+
+        _, p = make_hetero_pim(default_config(), recursive_kernels=False,
+                               operation_pipeline=False)
+        assert "no RC/OP" in p.name
+        _, p = make_hetero_pim(default_config())
+        assert p.name == "Hetero PIM"

@@ -1,0 +1,72 @@
+"""TensorSpec and shape-inference helpers."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.tensor import TensorSpec, conv_output_hw, deconv_output_hw
+
+
+class TestTensorSpec:
+    def test_basic_properties(self):
+        t = TensorSpec("x", (32, 224, 224, 3))
+        assert t.num_elements == 32 * 224 * 224 * 3
+        assert t.nbytes == t.num_elements * 4
+        assert t.rank == 4
+
+    def test_scalar(self):
+        t = TensorSpec("s", ())
+        assert t.num_elements == 1
+        assert t.nbytes == 4
+
+    def test_with_name(self):
+        t = TensorSpec("x", (2, 3))
+        renamed = t.with_name("y")
+        assert renamed.name == "y"
+        assert renamed.shape == t.shape
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("", (1,))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (4, 0))
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (-1,))
+
+    def test_rejects_bad_dtype(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("x", (1,), dtype_bytes=0)
+
+
+class TestConvShapes:
+    def test_same_padding_stride1(self):
+        assert conv_output_hw(224, 224, (3, 3), (1, 1), "SAME") == (224, 224)
+
+    def test_same_padding_stride2(self):
+        assert conv_output_hw(224, 224, (3, 3), (2, 2), "SAME") == (112, 112)
+        assert conv_output_hw(7, 7, (3, 3), (2, 2), "SAME") == (4, 4)
+
+    def test_valid_padding(self):
+        # AlexNet conv1: 224x224, 11x11 filter, stride 4
+        assert conv_output_hw(224, 224, (11, 11), (4, 4), "VALID") == (54, 54)
+        assert conv_output_hw(5, 5, (5, 5), (1, 1), "VALID") == (1, 1)
+
+    def test_valid_rejects_kernel_larger_than_input(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw(2, 2, (3, 3), (1, 1), "VALID")
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw(8, 8, (3, 3), (0, 1), "SAME")
+
+    def test_rejects_unknown_padding(self):
+        with pytest.raises(ShapeError):
+            conv_output_hw(8, 8, (3, 3), (1, 1), "WEIRD")
+
+    def test_deconv_doubles_spatial_size(self):
+        assert deconv_output_hw(7, 7, (2, 2)) == (14, 14)
+
+    def test_deconv_rejects_valid_padding(self):
+        with pytest.raises(ShapeError):
+            deconv_output_hw(7, 7, (2, 2), padding="VALID")

@@ -1,0 +1,72 @@
+"""Trace generation: task unrolling and cross-step dependences."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nn.models import build_model
+from repro.sim.tracegen import (
+    compile_kernels,
+    generate_trace,
+    task_uid,
+    trace_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def alexnet():
+    return build_model("alexnet")
+
+
+class TestTraceGeneration:
+    def test_task_count(self, alexnet):
+        tasks = generate_trace(alexnet, steps=3)
+        assert len(tasks) == 3 * alexnet.num_ops
+
+    def test_zero_steps_rejected(self, alexnet):
+        with pytest.raises(SimulationError):
+            generate_trace(alexnet, steps=0)
+
+    def test_intra_step_deps_match_graph(self, alexnet):
+        tasks = {t.uid: t for t in generate_trace(alexnet, steps=1)}
+        for op in alexnet.ops:
+            expected = {task_uid(0, p) for p in alexnet.predecessors(op.name)}
+            assert tasks[task_uid(0, op.name)].deps == expected
+
+    def test_cross_step_param_deps(self, alexnet):
+        tasks = {t.uid: t for t in generate_trace(alexnet, steps=2)}
+        # step-1 conv1 reads conv1/weights, updated by step-0 Adam
+        conv1 = tasks[task_uid(1, "conv1/Conv2D")]
+        update = alexnet.param_update_op("conv1/weights")
+        assert task_uid(0, update) in conv1.deps
+        # step-0 conv1 has no such dependence
+        conv1_s0 = tasks[task_uid(0, "conv1/Conv2D")]
+        assert all(d.startswith("s0/") for d in conv1_s0.deps)
+
+    def test_optimizer_updates_serialize_across_steps(self, alexnet):
+        tasks = {t.uid: t for t in generate_trace(alexnet, steps=2)}
+        update = alexnet.param_update_op("conv1/weights")
+        assert task_uid(0, update) in tasks[task_uid(1, update)].deps
+
+    def test_sort_key_orders_by_step_then_topo(self, alexnet):
+        tasks = generate_trace(alexnet, steps=2)
+        keys = [t.sort_key for t in tasks]
+        assert keys == sorted(keys)
+
+    def test_stats(self, alexnet):
+        tasks = generate_trace(alexnet, steps=2)
+        stats = trace_stats(tasks)
+        assert stats["tasks"] == 2 * alexnet.num_ops
+        assert stats["steps"] == 2
+        assert stats["cross_step_edges"] > 0
+
+
+class TestKernelCompilation:
+    def test_every_op_gets_a_kernel(self, alexnet):
+        kernels = compile_kernels(alexnet)
+        assert set(kernels) == {op.name for op in alexnet.ops}
+
+    def test_trace_reuses_supplied_kernels(self, alexnet):
+        kernels = compile_kernels(alexnet)
+        tasks = generate_trace(alexnet, steps=2, kernels=kernels)
+        for t in tasks:
+            assert t.kernel is kernels[t.op.name]

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Regenerate the golden metric snapshot used by tests/test_golden.py.
+
+Run after any *intentional* calibration change:
+
+    python tools/regen_golden.py
+
+and commit the updated ``tests/golden/metrics.json``.
+"""
+
+import json
+import pathlib
+
+from repro.experiments.common import run_model_on
+
+GOLDEN = pathlib.Path(__file__).parent.parent / "tests" / "golden" / "metrics.json"
+
+MODELS = ("vgg-19", "alexnet", "dcgan")
+CONFIGS = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim", "neurocube")
+
+
+def collect() -> dict:
+    out = {}
+    for model in MODELS:
+        for config in CONFIGS:
+            result = run_model_on(model, config)
+            out[f"{model}/{config}"] = {
+                "step_time_s": result.step_time_s,
+                "dynamic_energy_j": result.step_dynamic_energy_j,
+                "fixed_pim_utilization": result.fixed_pim_utilization,
+                "sync_s": result.step_breakdown.sync_s,
+                "data_movement_s": result.step_breakdown.data_movement_s,
+            }
+    return out
+
+
+def main() -> None:
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(json.dumps(collect(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    main()
