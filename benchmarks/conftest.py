@@ -4,13 +4,57 @@ Each ``bench_*`` module regenerates one table or figure of the paper's
 evaluation.  The rendered rows are printed (visible with ``pytest -s``) and
 saved under ``benchmarks/results/`` so a benchmark run leaves the full set
 of paper-shaped artifacts on disk.
+
+The session additionally writes ``BENCH_summary.json`` at the repository
+root: per-figure wall-clock plus simulation-cache hit/miss deltas, so a
+timing regression (or an unexpectedly cold cache) is visible at a glance.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
+
+from repro.sim import cache as sim_cache
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SUMMARY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_summary.json"
+
+_records: dict = {}
+_starts: dict = {}
+
+
+def pytest_runtest_setup(item):
+    _starts[item.nodeid] = (time.perf_counter(), sim_cache.stats())
+
+
+def pytest_runtest_teardown(item):
+    start = _starts.pop(item.nodeid, None)
+    if start is None:
+        return
+    t0, stats0 = start
+    stats1 = sim_cache.stats()
+    _records[item.nodeid] = {
+        "wall_clock_s": round(time.perf_counter() - t0, 4),
+        "cache": {k: stats1[k] - stats0[k] for k in stats1},
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _records:
+        return
+    summary = {
+        "total_wall_clock_s": round(
+            sum(r["wall_clock_s"] for r in _records.values()), 4
+        ),
+        "cache_totals": {
+            k: sum(r["cache"][k] for r in _records.values())
+            for k in next(iter(_records.values()))["cache"]
+        },
+        "figures": _records,
+    }
+    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n")
 
 
 def emit(name: str, text: str) -> None:

@@ -31,10 +31,22 @@ EXPERIMENT_IDS = (
 )
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Heterogeneous-PIM NN-training reproduction (MICRO 2018)",
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=_positive_int, default=None, metavar="N",
+        help="worker processes for independent simulations "
+             "(default: $REPRO_JOBS or 1)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -128,6 +140,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.jobs is not None:
+        from .experiments import runner
+
+        runner.set_jobs(args.jobs)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "profile":

@@ -13,8 +13,9 @@ from typing import Dict, Tuple
 
 from ..baselines import make_hetero_pim
 from ..config import default_config
+from ..sim.cache import simulate_cached
 from ..sim.results import RunResult
-from ..sim.simulation import simulate
+from . import runner
 from .common import cached_graph
 
 #: (label, recursive_kernels, operation_pipeline), presentation order.
@@ -25,30 +26,35 @@ VARIANTS: Tuple[Tuple[str, bool, bool], ...] = (
     ("RC+OP", True, True),
 )
 
-_cache: Dict[Tuple[str, str], RunResult] = {}
+_SETTINGS = {label: (rc, op) for label, rc, op in VARIANTS}
+
+
+def _variant_job(model: str, label: str) -> runner.Job:
+    try:
+        rc, op = _SETTINGS[label]
+    except KeyError:
+        raise ValueError(
+            f"unknown variant {label!r}; options: {sorted(_SETTINGS)}"
+        ) from None
+    config, policy = make_hetero_pim(
+        default_config(), recursive_kernels=rc, operation_pipeline=op
+    )
+    return (cached_graph(model), policy, config, None)
 
 
 def run_variant(model: str, label: str) -> RunResult:
     """Simulate ``model`` under one RC/OP variant of Hetero PIM (cached)."""
-    key = (model, label)
-    if key not in _cache:
-        settings = {name: (rc, op) for name, rc, op in VARIANTS}
-        try:
-            rc, op = settings[label]
-        except KeyError:
-            raise ValueError(
-                f"unknown variant {label!r}; options: {sorted(settings)}"
-            ) from None
-        config, policy = make_hetero_pim(
-            default_config(), recursive_kernels=rc, operation_pipeline=op
-        )
-        _cache[key] = simulate(cached_graph(model), policy, config)
-    return _cache[key]
+    return simulate_cached(*_variant_job(model, label))
 
 
 def run_all_variants(
     models: Tuple[str, ...]
 ) -> Dict[str, Dict[str, RunResult]]:
+    # fan the (model x variant) grid over the worker pool; the per-variant
+    # lookups below then hit the warm cache
+    runner.run_jobs(
+        [_variant_job(m, label) for m in models for label, _rc, _op in VARIANTS]
+    )
     return {
         model: {label: run_variant(model, label) for label, _rc, _op in VARIANTS}
         for model in models

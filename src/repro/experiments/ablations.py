@@ -23,14 +23,19 @@ from typing import Dict, Sequence, Tuple
 from ..baselines import make_hetero_pim
 from ..config import default_config
 from ..sim.results import RunResult
-from ..sim.simulation import simulate
+from . import runner
 from .common import cached_graph
 from .report import TextTable, format_seconds
 
 
-def _run_hetero(model: str, config) -> RunResult:
-    cfg, policy = make_hetero_pim(config)
-    return simulate(cached_graph(model), policy, cfg)
+def _hetero_jobs(model: str, configs: Sequence, **policy_kwargs):
+    """One runner job per base config (fresh policy each — prepare() is
+    per-(graph, config))."""
+    jobs = []
+    for config in configs:
+        cfg, policy = make_hetero_pim(config, **policy_kwargs)
+        jobs.append((cached_graph(model), policy, cfg, None))
+    return jobs
 
 
 # ---------------------------------------------------------------------------
@@ -41,14 +46,12 @@ def sweep_selection_coverage(
     coverages: Sequence[float] = (0.5, 0.7, 0.9, 0.99),
 ) -> Dict[float, RunResult]:
     """Vary the x% offload-coverage threshold of section III-C."""
-    out: Dict[float, RunResult] = {}
-    for x in coverages:
-        config = default_config()
-        config = replace(
-            config, runtime=replace(config.runtime, offload_coverage=x)
-        )
-        out[x] = _run_hetero(model, config)
-    return out
+    configs = [
+        replace(c, runtime=replace(c.runtime, offload_coverage=x))
+        for x in coverages
+        for c in (default_config(),)
+    ]
+    return dict(zip(coverages, runner.run_jobs(_hetero_jobs(model, configs))))
 
 
 def sweep_pipeline_depth(
@@ -56,14 +59,12 @@ def sweep_pipeline_depth(
     depths: Sequence[int] = (0, 1, 2, 4),
 ) -> Dict[int, RunResult]:
     """Vary the cross-step lookahead of the operation pipeline."""
-    out: Dict[int, RunResult] = {}
-    for depth in depths:
-        config = default_config()
-        config = replace(
-            config, runtime=replace(config.runtime, pipeline_depth=depth)
-        )
-        out[depth] = _run_hetero(model, config)
-    return out
+    configs = [
+        replace(c, runtime=replace(c.runtime, pipeline_depth=depth))
+        for depth in depths
+        for c in (default_config(),)
+    ]
+    return dict(zip(depths, runner.run_jobs(_hetero_jobs(model, configs))))
 
 
 def sweep_subkernel_granularity(
@@ -76,19 +77,19 @@ def sweep_subkernel_granularity(
     overhead recursive kernels amortize — the gap between the pair widens
     as the quota shrinks.
     """
-    out: Dict[float, Tuple[RunResult, RunResult]] = {}
-    for quota in quotas:
-        config = default_config()
-        config = replace(
-            config, fixed_pim=replace(config.fixed_pim, subkernel_macs=quota)
-        )
-        cfg_rc, pol_rc = make_hetero_pim(config, recursive_kernels=True)
-        cfg_no, pol_no = make_hetero_pim(config, recursive_kernels=False)
-        out[quota] = (
-            simulate(cached_graph(model), pol_rc, cfg_rc),
-            simulate(cached_graph(model), pol_no, cfg_no),
-        )
-    return out
+    configs = [
+        replace(c, fixed_pim=replace(c.fixed_pim, subkernel_macs=quota))
+        for quota in quotas
+        for c in (default_config(),)
+    ]
+    with_rc = _hetero_jobs(model, configs, recursive_kernels=True)
+    without = _hetero_jobs(model, configs, recursive_kernels=False)
+    results = runner.run_jobs(with_rc + without)
+    n = len(configs)
+    return {
+        quota: (results[i], results[n + i])
+        for i, quota in enumerate(quotas)
+    }
 
 
 def sweep_fallback_limit(
@@ -100,17 +101,12 @@ def sweep_fallback_limit(
     A bound of ~1 forbids almost all host stealing; an unbounded limit
     reproduces the naive fallback that drags slow operations to the CPU.
     """
-    out: Dict[float, RunResult] = {}
-    for limit in limits:
-        config = default_config()
-        config = replace(
-            config,
-            runtime=replace(
-                config.runtime, cpu_fallback_slowdown_limit=limit
-            ),
-        )
-        out[limit] = _run_hetero(model, config)
-    return out
+    configs = [
+        replace(c, runtime=replace(c.runtime, cpu_fallback_slowdown_limit=limit))
+        for limit in limits
+        for c in (default_config(),)
+    ]
+    return dict(zip(limits, runner.run_jobs(_hetero_jobs(model, configs))))
 
 
 def sweep_fixed_units(
@@ -118,14 +114,14 @@ def sweep_fixed_units(
     unit_counts: Sequence[int] = (111, 222, 444, 888),
 ) -> Dict[int, RunResult]:
     """Design-space sweep around the area-derived 444-unit pool."""
-    out: Dict[int, RunResult] = {}
-    for units in unit_counts:
-        config = default_config()
-        config = replace(
-            config, fixed_pim=replace(config.fixed_pim, n_units=units)
-        )
-        out[units] = _run_hetero(model, config)
-    return out
+    configs = [
+        replace(c, fixed_pim=replace(c.fixed_pim, n_units=units))
+        for units in unit_counts
+        for c in (default_config(),)
+    ]
+    return dict(
+        zip(unit_counts, runner.run_jobs(_hetero_jobs(model, configs)))
+    )
 
 
 # ---------------------------------------------------------------------------

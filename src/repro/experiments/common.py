@@ -8,8 +8,9 @@ from ..baselines import build_configuration, make_neurocube
 from ..config import SystemConfig, default_config
 from ..nn.graph import Graph
 from ..nn.models import build_model
+from ..sim import cache as sim_cache
+from ..sim.policy import SchedulingPolicy
 from ..sim.results import RunResult
-from ..sim.simulation import simulate
 
 #: The five CNN models of the main evaluation, in figure order.
 EVAL_MODELS = ("vgg-19", "alexnet", "dcgan", "resnet-50", "inception-v3")
@@ -18,7 +19,6 @@ EVAL_MODELS = ("vgg-19", "alexnet", "dcgan", "resnet-50", "inception-v3")
 EVAL_CONFIGS = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim")
 
 _graph_cache: Dict[Tuple[str, Optional[int]], Graph] = {}
-_run_cache: Dict[Tuple, RunResult] = {}
 
 
 def cached_graph(model: str, batch_size: Optional[int] = None) -> Graph:
@@ -29,36 +29,34 @@ def cached_graph(model: str, batch_size: Optional[int] = None) -> Graph:
     return _graph_cache[key]
 
 
+def resolve_configuration(
+    config_name: str, base: Optional[SystemConfig] = None
+) -> Tuple[SystemConfig, SchedulingPolicy]:
+    """Instantiate a named configuration (``EVAL_CONFIGS`` or ``neurocube``)."""
+    if config_name == "neurocube":
+        return make_neurocube(base if base is not None else default_config())
+    return build_configuration(config_name, base)
+
+
 def run_model_on(
     model: str,
     config_name: str,
     base: Optional[SystemConfig] = None,
     steps: Optional[int] = None,
-    cache_key: Optional[Tuple] = None,
 ) -> RunResult:
     """Simulate ``model`` on one named configuration (cached).
 
-    ``cache_key`` must uniquely identify any non-default ``base``; passing a
-    modified config without a key disables caching for that run.
+    The cache key is a content fingerprint of the resolved (graph, policy,
+    config, steps) — see :mod:`repro.sim.cache` — so modified ``base``
+    configs are always cached and can never collide with the defaults.
     """
-    key = None
-    if base is None:
-        key = (model, config_name, steps)
-    elif cache_key is not None:
-        key = (model, config_name, steps) + tuple(cache_key)
-    if key is not None and key in _run_cache:
-        return _run_cache[key]
-    if config_name == "neurocube":
-        config, policy = make_neurocube(base if base is not None else default_config())
-    else:
-        config, policy = build_configuration(config_name, base)
-    result = simulate(cached_graph(model), policy, config, steps=steps)
-    if key is not None:
-        _run_cache[key] = result
-    return result
+    config, policy = resolve_configuration(config_name, base)
+    return sim_cache.simulate_cached(
+        cached_graph(model), policy, config, steps=steps
+    )
 
 
 def clear_caches() -> None:
-    """Drop cached graphs and runs (used by tests that mutate configs)."""
+    """Drop cached graphs and simulation results (memory and disk tiers)."""
     _graph_cache.clear()
-    _run_cache.clear()
+    sim_cache.clear()

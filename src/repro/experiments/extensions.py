@@ -23,8 +23,9 @@ from typing import Dict, Sequence, Tuple
 from ..baselines import make_hetero_pim
 from ..config import default_config
 from ..nn.inference import backward_share, derive_inference_graph
+from ..sim.cache import simulate_cached
 from ..sim.results import RunResult
-from ..sim.simulation import simulate
+from . import runner
 from .common import cached_graph
 from .report import TextTable, format_seconds
 
@@ -46,13 +47,18 @@ def run_multistack(
     models: Tuple[str, ...] = ("vgg-19", "resnet-50"),
     stack_counts: Sequence[int] = STACK_COUNTS,
 ) -> Dict[str, Dict[int, MultiStackCell]]:
-    out: Dict[str, Dict[int, MultiStackCell]] = {}
+    jobs = []
     for model in models:
-        times: Dict[int, RunResult] = {}
         for n in stack_counts:
-            config = default_config().with_stacks(n)
-            cfg, policy = make_hetero_pim(config)
-            times[n] = simulate(cached_graph(model), policy, cfg)
+            cfg, policy = make_hetero_pim(default_config().with_stacks(n))
+            jobs.append((cached_graph(model), policy, cfg, None))
+    fanned = runner.run_jobs(jobs)
+    out: Dict[str, Dict[int, MultiStackCell]] = {}
+    for i, model in enumerate(models):
+        times: Dict[int, RunResult] = {
+            n: fanned[i * len(stack_counts) + j]
+            for j, n in enumerate(stack_counts)
+        }
         base = times[stack_counts[0]].step_time_s
         out[model] = {
             n: MultiStackCell(
@@ -92,24 +98,39 @@ class InferenceContrast:
     infer_rc_gain: float
 
 
-def _rc_gain(graph) -> Tuple[float, float]:
-    """(step time with RC+OP, RC+OP gain over bare hardware)."""
+def _rc_jobs(graph) -> Tuple[runner.Job, runner.Job]:
+    """(RC+OP job, bare-hardware job) for one graph."""
     cfg_on, pol_on = make_hetero_pim(default_config())
     cfg_off, pol_off = make_hetero_pim(
         default_config(), recursive_kernels=False, operation_pipeline=False
     )
-    on = simulate(graph, pol_on, cfg_on)
-    off = simulate(graph, pol_off, cfg_off)
+    return (graph, pol_on, cfg_on, None), (graph, pol_off, cfg_off, None)
+
+
+def _rc_gain(graph) -> Tuple[float, float]:
+    """(step time with RC+OP, RC+OP gain over bare hardware)."""
+    job_on, job_off = _rc_jobs(graph)
+    on = simulate_cached(*job_on)
+    off = simulate_cached(*job_off)
     return on.step_time_s, off.step_time_s / on.step_time_s
 
 
 def run_inference_contrast(
     models: Tuple[str, ...] = ("vgg-19", "alexnet", "dcgan"),
 ) -> Dict[str, InferenceContrast]:
+    infer_graphs = {m: derive_inference_graph(cached_graph(m)) for m in models}
+    runner.run_jobs(
+        [
+            job
+            for m in models
+            for g in (cached_graph(m), infer_graphs[m])
+            for job in _rc_jobs(g)
+        ]
+    )
     out: Dict[str, InferenceContrast] = {}
     for model in models:
         train_graph = cached_graph(model)
-        infer_graph = derive_inference_graph(train_graph)
+        infer_graph = infer_graphs[model]
         train_s, train_gain = _rc_gain(train_graph)
         infer_s, infer_gain = _rc_gain(infer_graph)
         out[model] = InferenceContrast(

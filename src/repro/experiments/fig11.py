@@ -16,6 +16,7 @@ from ..config import FREQUENCY_SCALES, default_config
 from ..sim.activity import TimeBreakdown
 from .common import EVAL_MODELS, run_model_on
 from .report import TextTable, format_seconds
+from .runner import prefetch_model_runs
 
 
 @dataclass(frozen=True)
@@ -30,15 +31,17 @@ def run(
     models: Tuple[str, ...] = EVAL_MODELS,
     scales: Tuple[float, ...] = FREQUENCY_SCALES,
 ) -> Dict[str, Dict[float, Fig11Cell]]:
+    bases = {s: default_config().with_frequency_scale(s) for s in scales}
+    prefetch_model_runs(
+        [(m, "gpu") for m in models]
+        + [(m, "hetero-pim", bases[s]) for m in models for s in scales]
+    )
     out: Dict[str, Dict[float, Fig11Cell]] = {}
     for model in models:
         gpu = run_model_on(model, "gpu")
         row: Dict[float, Fig11Cell] = {}
         for scale in scales:
-            base = default_config().with_frequency_scale(scale)
-            result = run_model_on(
-                model, "hetero-pim", base=base, cache_key=("freq", scale)
-            )
+            result = run_model_on(model, "hetero-pim", base=bases[scale])
             row[scale] = Fig11Cell(
                 scale=scale,
                 step_time_s=result.step_time_s,

@@ -14,6 +14,7 @@ from typing import Dict, Tuple
 from ..config import PROG_PIM_COUNTS, default_config
 from .common import EVAL_MODELS, run_model_on
 from .report import TextTable, format_seconds
+from .runner import prefetch_model_runs
 
 
 @dataclass(frozen=True)
@@ -28,16 +29,17 @@ def run(
     models: Tuple[str, ...] = EVAL_MODELS,
     counts: Tuple[int, ...] = PROG_PIM_COUNTS,
 ) -> Dict[str, Dict[int, Fig12Cell]]:
+    bases = {n: default_config().with_prog_pims(n) for n in counts}
+    prefetch_model_runs(
+        [(m, "hetero-pim", bases[n]) for m in models for n in counts]
+    )
     out: Dict[str, Dict[int, Fig12Cell]] = {}
     for model in models:
         times: Dict[int, float] = {}
         units: Dict[int, int] = {}
         for n in counts:
-            base = default_config().with_prog_pims(n)
-            units[n] = base.fixed_pim.n_units
-            result = run_model_on(
-                model, "hetero-pim", base=base, cache_key=("prog", n)
-            )
+            units[n] = bases[n].fixed_pim.n_units
+            result = run_model_on(model, "hetero-pim", base=bases[n])
             times[n] = result.step_time_s
         ref = times[counts[0]]
         out[model] = {

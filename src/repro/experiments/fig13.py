@@ -14,6 +14,7 @@ from typing import Dict, Tuple
 from .ablation import VARIANTS, run_all_variants
 from .common import EVAL_MODELS, run_model_on
 from .report import TextTable, format_seconds
+from .runner import prefetch_model_runs
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,9 @@ class Fig13Model:
 
 
 def run(models: Tuple[str, ...] = EVAL_MODELS) -> Dict[str, Fig13Model]:
+    prefetch_model_runs(
+        [(m, c) for m in models for c in ("fixed-pim", "prog-pim")]
+    )
     variants = run_all_variants(models)
     out: Dict[str, Fig13Model] = {}
     for model in models:

@@ -14,6 +14,7 @@ from typing import Dict, Tuple
 from .ablation import VARIANTS, run_all_variants
 from .common import EVAL_MODELS, run_model_on
 from .report import TextTable
+from .runner import prefetch_model_runs
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,9 @@ class Fig14Model:
 
 
 def run(models: Tuple[str, ...] = EVAL_MODELS) -> Dict[str, Fig14Model]:
+    prefetch_model_runs(
+        [(m, c) for m in models for c in ("fixed-pim", "prog-pim")]
+    )
     variants = run_all_variants(models)
     out: Dict[str, Fig14Model] = {}
     for model in models:

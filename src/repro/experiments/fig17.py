@@ -14,6 +14,7 @@ from typing import Dict, Tuple
 from ..config import FREQUENCY_SCALES, default_config
 from .common import EVAL_MODELS, run_model_on
 from .report import TextTable
+from .runner import prefetch_model_runs
 
 
 @dataclass(frozen=True)
@@ -43,15 +44,17 @@ def run(
     models: Tuple[str, ...] = EVAL_MODELS,
     scales: Tuple[float, ...] = FREQUENCY_SCALES,
 ) -> Dict[str, Fig17Model]:
+    bases = {s: default_config().with_frequency_scale(s) for s in scales}
+    prefetch_model_runs(
+        [(m, "gpu") for m in models]
+        + [(m, "hetero-pim", bases[s]) for m in models for s in scales]
+    )
     out: Dict[str, Fig17Model] = {}
     for model in models:
         gpu = run_model_on(model, "gpu")
         cells: Dict[float, Fig17Cell] = {}
         for scale in scales:
-            base = default_config().with_frequency_scale(scale)
-            result = run_model_on(
-                model, "hetero-pim", base=base, cache_key=("freq", scale)
-            )
+            result = run_model_on(model, "hetero-pim", base=bases[scale])
             cells[scale] = Fig17Cell(
                 scale=scale,
                 edp=result.edp(),

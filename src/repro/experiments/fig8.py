@@ -18,6 +18,7 @@ from ..sim.activity import TimeBreakdown
 from ..sim.results import RunResult
 from .common import EVAL_CONFIGS, EVAL_MODELS, run_model_on
 from .report import TextTable, format_seconds, stacked_bar
+from .runner import prefetch_model_runs
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,7 @@ def run(
     models: Tuple[str, ...] = EVAL_MODELS,
     configs: Tuple[str, ...] = EVAL_CONFIGS,
 ) -> Dict[str, Dict[str, Fig8Cell]]:
+    prefetch_model_runs([(m, c) for m in models for c in configs])
     out: Dict[str, Dict[str, Fig8Cell]] = {}
     for model in models:
         row: Dict[str, Fig8Cell] = {}

@@ -13,6 +13,7 @@ from typing import Dict, Tuple
 
 from .common import EVAL_CONFIGS, EVAL_MODELS, run_model_on
 from .report import TextTable
+from .runner import prefetch_model_runs
 
 
 @dataclass(frozen=True)
@@ -26,6 +27,7 @@ def run(
     models: Tuple[str, ...] = EVAL_MODELS,
     configs: Tuple[str, ...] = EVAL_CONFIGS,
 ) -> Dict[str, Dict[str, Fig9Cell]]:
+    prefetch_model_runs([(m, c) for m in models for c in configs])
     out: Dict[str, Dict[str, Fig9Cell]] = {}
     for model in models:
         energies = {

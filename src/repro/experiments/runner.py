@@ -1,0 +1,115 @@
+"""Parallel experiment runner: fan independent simulations over processes.
+
+The evaluation is dozens of mutually independent (graph, policy, config)
+simulations.  This module runs batches of them on a
+:class:`concurrent.futures.ProcessPoolExecutor` and lands every result in
+the content-addressed cache (:mod:`repro.sim.cache`), so the experiment
+modules themselves stay strictly sequential and deterministic: they
+*prefetch* their runs through this module, then execute their unchanged
+per-model loops against a warm cache.  Rendered artifacts are therefore
+byte-identical whatever the worker count.
+
+Worker count resolution (first match wins):
+
+* :func:`set_jobs` (the CLI's top-level ``--jobs`` flag calls this);
+* the ``REPRO_JOBS`` environment variable;
+* 1 — everything stays in-process, no pool is spawned.
+
+Workers inherit ``REPRO_JOBS``/``REPRO_CACHE*`` through the environment
+and write their results to the shared disk tier; the parent additionally
+seeds its in-memory tier from the returned values, so prefetched runs hit
+even when the disk tier is disabled.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..nn.graph import Graph
+from ..sim import cache as sim_cache
+from ..sim.policy import SchedulingPolicy
+from ..sim.results import RunResult
+
+#: One simulation job: (graph, policy, config, steps).
+Job = Tuple[Graph, SchedulingPolicy, SystemConfig, Optional[int]]
+
+_jobs_override: Optional[int] = None
+
+
+def set_jobs(n: Optional[int]) -> None:
+    """Set the worker count programmatically (None reverts to the env)."""
+    global _jobs_override
+    if n is not None and n < 1:
+        raise ValueError(f"jobs must be >= 1, got {n}")
+    _jobs_override = n
+
+
+def get_jobs() -> int:
+    """Resolved worker count (>= 1)."""
+    if _jobs_override is not None:
+        return _jobs_override
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}")
+    return 1
+
+
+def _worker(job: Job) -> RunResult:
+    """Run one job in a pool worker (module-level: must be picklable)."""
+    graph, policy, config, steps = job
+    return sim_cache.simulate_cached(graph, policy, config, steps=steps)
+
+
+def run_jobs(jobs: Sequence[Job]) -> List[RunResult]:
+    """Run every job, in parallel when ``get_jobs() > 1``.
+
+    Results come back in job order and are identical to serial execution:
+    each simulation is single-process deterministic, and the pool adds no
+    shared state beyond the result cache.
+    """
+    jobs = list(jobs)
+    n_workers = min(get_jobs(), len(jobs))
+    if n_workers <= 1:
+        return [_worker(job) for job in jobs]
+    # Skip jobs already cached — no point shipping them to a worker.
+    prints = [sim_cache.run_fingerprint(g, p, c, s) for g, p, c, s in jobs]
+    pending = [
+        i for i, fp in enumerate(prints) if sim_cache.get(fp) is None
+    ]
+    if pending:
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(pending))
+        ) as pool:
+            fresh = pool.map(_worker, [jobs[i] for i in pending])
+            for i, result in zip(pending, fresh):
+                sim_cache.put(prints[i], result)
+    results = [sim_cache.get(fp) for fp in prints]
+    assert all(r is not None for r in results)
+    return results
+
+
+def prefetch_model_runs(
+    specs: Sequence[Tuple],
+) -> None:
+    """Warm the cache for ``run_model_on``-style specs.
+
+    Each spec is ``(model, config_name)`` optionally followed by ``base``
+    (a :class:`SystemConfig` or None) and ``steps`` — positionally the
+    same arguments :func:`repro.experiments.common.run_model_on` takes.
+    """
+    from .common import cached_graph, resolve_configuration
+
+    jobs: List[Job] = []
+    for spec in specs:
+        model, config_name = spec[0], spec[1]
+        base = spec[2] if len(spec) > 2 else None
+        steps = spec[3] if len(spec) > 3 else None
+        config, policy = resolve_configuration(config_name, base)
+        jobs.append((cached_graph(model), policy, config, steps))
+    run_jobs(jobs)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import UnknownOpError
@@ -86,7 +87,7 @@ class OpTypeInfo:
     mac_chunks: int = 1
     stages_bytes_factor: float = 0.0
 
-    @property
+    @cached_property
     def host_traffic_factor(self) -> float:
         """Effective main-memory traffic factor on the host CPU."""
         return (
@@ -230,21 +231,25 @@ class OpCost:
         if self.parallelism < 1:
             raise ValueError("OpCost.parallelism must be >= 1")
 
-    @property
+    # Derived quantities are memoized: the simulator's placement estimator
+    # reads them millions of times per run, and every field is frozen.
+    # (``cached_property`` writes straight into the instance ``__dict__``,
+    # which frozen dataclasses permit.)
+    @cached_property
     def mac_flops(self) -> int:
         """Fixed-function-PIM-eligible floating point operations."""
         return self.muls + self.adds
 
-    @property
+    @cached_property
     def macs(self) -> int:
         """Multiply-accumulate count (one MAC = one mul + one add)."""
         return max(self.muls, self.adds)
 
-    @property
+    @cached_property
     def flops(self) -> int:
         return self.mac_flops + self.other_flops
 
-    @property
+    @cached_property
     def bytes_total(self) -> int:
         return self.bytes_in + self.bytes_out
 
@@ -271,26 +276,28 @@ class Op:
     def __post_init__(self) -> None:
         op_type_info(self.op_type)  # validates the type early
 
-    @property
+    # Memoized like OpCost's derived fields: every input is frozen and the
+    # scheduler queries these on each placement attempt.
+    @cached_property
     def info(self) -> OpTypeInfo:
         return op_type_info(self.op_type)
 
-    @property
+    @cached_property
     def offload_class(self) -> OffloadClass:
         return self.info.offload_class
 
-    @property
+    @cached_property
     def traffic_bytes(self) -> int:
         """Estimated main-memory traffic (compulsory bytes x spill factor)."""
         return int(self.cost.bytes_total * self.info.traffic_factor)
 
-    @property
+    @cached_property
     def host_traffic_bytes(self) -> int:
         """Main-memory traffic of the TensorFlow CPU kernel — the quantity
         the paper's profiling counters measure (Table I)."""
         return int(self.cost.bytes_total * self.info.host_traffic_factor)
 
-    @property
+    @cached_property
     def staging_bytes(self) -> int:
         """Bytes rearranged by the complex phases of a HYBRID op."""
         return int(self.cost.bytes_total * self.info.stages_bytes_factor)

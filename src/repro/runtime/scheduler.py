@@ -90,6 +90,12 @@ class HeteroPimPolicy(SchedulingPolicy):
             return ("prog", "cpu")
         return ("cpu",)
 
+    def signature(self) -> Tuple:
+        # cpu_slots alone is ambiguous here: without an override prepare()
+        # replaces it with config.runtime.cpu_slots, with one it does not —
+        # the same (signature, config) pair must never behave two ways.
+        return super().signature() + (self._cpu_slots_override,)
+
 
 class MixedWorkloadPolicy(HeteroPimPolicy):
     """Co-run scheduler for the mixed-workload study (section VI-F).
@@ -129,3 +135,9 @@ class MixedWorkloadPolicy(HeteroPimPolicy):
         # the co-run tenant runs "when they are idle": strictly after the
         # primary model's ready work
         return 1 if self._is_restricted(op) else 0
+
+    def signature(self) -> Tuple:
+        return super().signature() + (
+            tuple(sorted(self.restricted_models)),
+            self.restrict_untagged,
+        )

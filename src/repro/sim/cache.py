@@ -1,0 +1,292 @@
+"""Content-addressed simulation-result cache (memory + disk tiers).
+
+Every simulation run is identified by a **fingerprint**: a SHA-256 digest
+over a canonical serialization of
+
+* the workload graph (ops, costs, tensors, attributes),
+* every field of the :class:`~repro.config.SystemConfig` (recursively),
+* the scheduling policy's behavioral identity
+  (:meth:`~repro.sim.policy.SchedulingPolicy.signature`),
+* the effective simulated step count.
+
+The fingerprint is derived from *content*, never supplied by callers, so a
+modified configuration can neither collide with nor silently bypass the
+cache — the footgun of the old caller-supplied ``cache_key`` mechanism.
+
+Two tiers back the fingerprint:
+
+* an in-process dict (free hits within one run of the evaluation);
+* an on-disk store of pickled :class:`~repro.sim.results.RunResult`
+  records under ``<cache-dir>/objects/<aa>/<digest>.pkl``, shared across
+  processes — the parallel experiment runner's workers populate it and the
+  parent (and every later invocation: pytest, benchmarks, the CLI) reads
+  the same entries.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache directory (default ``.repro-cache`` under
+  the current working directory);
+* ``REPRO_CACHE=0`` — disable the disk tier (the memory tier always runs).
+
+``CACHE_SCHEMA`` is folded into every fingerprint; bump it whenever the
+simulator's observable behavior changes so stale on-disk results can never
+leak into a new code version's outputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+import weakref
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..config import SystemConfig
+from ..nn.graph import Graph
+from .policy import SchedulingPolicy
+from .results import RunResult
+
+#: Schema/behavior version folded into every fingerprint.
+CACHE_SCHEMA = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_ENABLE = "REPRO_CACHE"
+
+_memory: Dict[str, RunResult] = {}
+
+#: Hit/miss counters since process start (or the last ``reset_stats``).
+_stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+def cache_dir() -> Path:
+    """Directory of the disk tier (not necessarily existing yet)."""
+    return Path(os.environ.get(_ENV_DIR, ".repro-cache"))
+
+
+def disk_enabled() -> bool:
+    return os.environ.get(_ENV_ENABLE, "1") != "0"
+
+
+# ---------------------------------------------------------------------------
+# fingerprinting
+# ---------------------------------------------------------------------------
+def _encode(value, out) -> None:
+    """Append a canonical, type-tagged encoding of ``value`` to ``out``.
+
+    Handles the closed set of types that appear in graphs, configs and
+    policy signatures.  Type tags keep e.g. ``1`` and ``"1"`` and ``1.0``
+    distinct; floats are encoded by hex to be exact.
+    """
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        out.append(f"{type(value).__name__}:{value!r};")
+    elif isinstance(value, float):
+        out.append(f"float:{value.hex()};")
+    elif isinstance(value, (list, tuple)):
+        out.append(f"seq{len(value)}[")
+        for item in value:
+            _encode(item, out)
+        out.append("]")
+    elif isinstance(value, (set, frozenset)):
+        out.append(f"set{len(value)}[")
+        for item in sorted(value, key=repr):
+            _encode(item, out)
+        out.append("]")
+    elif isinstance(value, dict):
+        out.append(f"map{len(value)}[")
+        for key in sorted(value, key=repr):
+            _encode(key, out)
+            _encode(value[key], out)
+        out.append("]")
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out.append(f"dc:{type(value).__name__}[")
+        for field in dataclasses.fields(value):
+            _encode(getattr(value, field.name), out)
+        out.append("]")
+    else:
+        # enums, odd attr payloads: repr is stable for everything we store
+        out.append(f"{type(value).__name__}:{value!r};")
+
+
+def graph_signature(graph: Graph):
+    """Stable structural signature of a workload graph.
+
+    Covers everything the simulator reads: identity fields, per-op costs,
+    dependence-defining inputs/outputs/attrs, and tensor sizes (which feed
+    GPU working-set/swap modeling).
+    """
+    ops = tuple(
+        (
+            op.name,
+            op.op_type,
+            op.inputs,
+            op.outputs,
+            (
+                op.cost.muls,
+                op.cost.adds,
+                op.cost.other_flops,
+                op.cost.bytes_in,
+                op.cost.bytes_out,
+                op.cost.parallelism,
+            ),
+            dict(op.attrs),
+        )
+        for op in graph.ops
+    )
+    tensors = {name: spec.nbytes for name, spec in graph.tensors.items()}
+    return (
+        graph.name,
+        graph.batch_size,
+        graph.dataset,
+        graph.input_bytes,
+        ops,
+        tensors,
+    )
+
+
+#: Encoded graph signature per graph object (graphs are immutable once
+#: simulated; entries evict with the graph, so ids can't go stale).
+_graph_sig_cache: Dict[int, str] = {}
+
+
+def _encoded_graph_signature(graph: Graph) -> str:
+    key = id(graph)
+    encoded = _graph_sig_cache.get(key)
+    if encoded is None:
+        parts = []
+        _encode(graph_signature(graph), parts)
+        encoded = "".join(parts)
+        _graph_sig_cache[key] = encoded
+        weakref.finalize(graph, _graph_sig_cache.pop, key, None)
+    return encoded
+
+
+def run_fingerprint(
+    graph: Graph,
+    policy: SchedulingPolicy,
+    config: SystemConfig,
+    steps: Optional[int] = None,
+) -> str:
+    """Hex digest identifying one (graph, policy, config, steps) run."""
+    effective_steps = (
+        steps if steps is not None else config.runtime.measured_steps
+    )
+    parts = [_encoded_graph_signature(graph)]
+    _encode(
+        (CACHE_SCHEMA, policy.signature(), config, effective_steps),
+        parts,
+    )
+    return hashlib.sha256("".join(parts).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# tiers
+# ---------------------------------------------------------------------------
+def _object_path(fingerprint: str) -> Path:
+    return cache_dir() / "objects" / fingerprint[:2] / f"{fingerprint}.pkl"
+
+
+def get(fingerprint: str) -> Optional[RunResult]:
+    """Look up a result by fingerprint (memory first, then disk)."""
+    result = _memory.get(fingerprint)
+    if result is not None:
+        _stats["memory_hits"] += 1
+        return result
+    if disk_enabled():
+        path = _object_path(fingerprint)
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            # missing file, or a corrupt/stale entry (truncated write,
+            # schema drift): unpickling can raise nearly anything, and any
+            # failure here is just a cache miss
+            result = None
+        if isinstance(result, RunResult):
+            _memory[fingerprint] = result
+            _stats["disk_hits"] += 1
+            return result
+    _stats["misses"] += 1
+    return None
+
+
+def put(fingerprint: str, result: RunResult) -> None:
+    """Store a result in both tiers (atomic on disk)."""
+    _memory[fingerprint] = result
+    _stats["stores"] += 1
+    if not disk_enabled():
+        return
+    path = _object_path(fingerprint)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: concurrent writers both win
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:
+        pass  # read-only/odd filesystems degrade to the memory tier
+
+
+def clear(disk: bool = True) -> None:
+    """Drop the memory tier and (by default) this cache dir's disk tier."""
+    _memory.clear()
+    if not disk:
+        return
+    objects = cache_dir() / "objects"
+    if not objects.is_dir():
+        return
+    for shard in objects.iterdir():
+        if shard.is_dir():
+            for entry in shard.glob("*.pkl"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
+
+
+def stats() -> Dict[str, int]:
+    """Snapshot of hit/miss counters (for the benchmark harness)."""
+    return dict(_stats)
+
+
+def reset_stats() -> None:
+    for key in _stats:
+        _stats[key] = 0
+
+
+# ---------------------------------------------------------------------------
+# cached simulation entry point
+# ---------------------------------------------------------------------------
+def simulate_cached(
+    graph: Graph,
+    policy: SchedulingPolicy,
+    config: Optional[SystemConfig] = None,
+    steps: Optional[int] = None,
+) -> RunResult:
+    """Run (or fetch) one simulation, keyed by content fingerprint.
+
+    Drop-in replacement for :func:`repro.sim.simulation.simulate` for any
+    run that does not need a live :class:`Simulation` object (timelines,
+    device introspection).
+    """
+    from .simulation import simulate  # local import avoids a cycle
+
+    if config is None:
+        from ..config import default_config
+
+        config = default_config()
+    fingerprint = run_fingerprint(graph, policy, config, steps)
+    result = get(fingerprint)
+    if result is None:
+        result = simulate(graph, policy, config=config, steps=steps)
+        put(fingerprint, result)
+    return result

@@ -69,7 +69,7 @@ class SlotDevice:
         return self._busy_integral
 
 
-@dataclass
+@dataclass(slots=True)
 class _MacJob:
     """One in-flight fixed-function sub-kernel."""
 
@@ -219,10 +219,21 @@ class FixedPoolExecutor:
         job.last_update = now
 
     def _schedule_completion(self, job: _MacJob) -> None:
-        if job.handle is not None:
-            job.handle.cancel()
-        delay = job.remaining / job.units if job.units else float("inf")
-        job.handle = self.engine.after(delay, lambda: self._complete(job.kernel_id))
+        if job.units <= 0:
+            # no units held: nothing drains the work; completion is
+            # rescheduled when the pool grants units (never reached in
+            # practice — try_submit requires a non-zero grant)
+            if job.handle is not None:
+                job.handle.cancel()
+                job.handle = None
+            return
+        target = self.engine.now + job.remaining / job.units
+        handle = job.handle
+        if handle is not None:
+            if not handle.cancelled and handle.time == target:
+                return  # completion unchanged; keep the scheduled event
+            handle.cancel()
+        job.handle = self.engine.at(target, lambda: self._complete(job.kernel_id))
 
     def _complete(self, kernel_id: str) -> None:
         job = self._jobs.pop(kernel_id, None)

@@ -4,51 +4,55 @@ A minimal, deterministic event engine: events are ``(time, sequence)``
 ordered callbacks; handles support cancellation (needed by the
 processor-sharing fixed-function pool, which reschedules completions when
 allocations change).
+
+The heap stores plain ``[time, seq, callback]`` lists rather than
+dataclass instances: heap sift operations then compare small floats/ints
+directly instead of going through a generated ``__lt__``, and cancellation
+is a sentinel write (``callback = None``) with no extra flag field.  The
+``seq`` tiebreaker is unique, so the callback slot never takes part in a
+comparison.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..errors import SimulationError
 
-
-@dataclass(order=True)
-class _Event:
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+#: Heap entry layout: ``[time, seq, callback]``; ``callback is None`` marks
+#: a cancelled event that the run loop discards when it surfaces.
+_TIME, _SEQ, _CALLBACK = 0, 1, 2
 
 
 class EventHandle:
     """Cancellation handle for a scheduled event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry",)
 
-    def __init__(self, event: _Event):
-        self._event = event
+    def __init__(self, entry: list):
+        self._entry = entry
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._entry[_CALLBACK] = None
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[_CALLBACK] is None
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
 
 class Engine:
     """Deterministic discrete-event engine."""
 
+    __slots__ = ("now", "_heap", "_seq", "_events_processed")
+
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[_Event] = []
+        self._heap: List[list] = []
         self._seq = 0
         self._events_processed = 0
 
@@ -58,10 +62,12 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self.now}"
             )
-        event = _Event(time=time, seq=self._seq, callback=callback)
+        if callback is None:
+            raise SimulationError("event callback must not be None")
+        entry = [time, self._seq, callback]
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
 
     def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` after ``delay`` seconds."""
@@ -72,26 +78,29 @@ class Engine:
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
         """Process events until the queue drains (or ``until`` / the event
         budget is reached — the budget guards against runaway feedback)."""
-        while self._heap:
-            event = self._heap[0]
-            if until is not None and event.time > until:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            if until is not None and entry[_TIME] > until:
                 self.now = until
                 return
-            heapq.heappop(self._heap)
-            if event.cancelled:
+            pop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
                 continue
-            self.now = event.time
+            self.now = entry[_TIME]
             self._events_processed += 1
             if self._events_processed > max_events:
                 raise SimulationError(
                     f"event budget exceeded ({max_events}); likely a "
                     "scheduling livelock"
                 )
-            event.callback()
+            callback()
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for e in self._heap if e[_CALLBACK] is not None)
 
     @property
     def events_processed(self) -> int:

@@ -64,6 +64,28 @@ class SchedulingPolicy(abc.ABC):
         resources (paper section VI-F)."""
         return 0
 
+    def signature(self) -> Tuple:
+        """Behavioral identity of this policy, for result-cache keying.
+
+        Two policy instances with equal signatures must schedule every
+        graph identically under the same :class:`SystemConfig`.  The base
+        tuple covers the class and every placement-relevant flag;
+        subclasses with extra behavioral state (e.g. the mixed-workload
+        tenant restriction) must extend it.  State derived in
+        :meth:`prepare` from (graph, config) needs no entry — both inputs
+        are fingerprinted separately.
+        """
+        return (
+            type(self).__name__,
+            self.name,
+            self.cpu_slots,
+            self.uses_gpu,
+            self.recursive_kernels,
+            self.operation_pipeline,
+            self.pipeline_depth,
+            self.prog_gang_limit,
+        )
+
     def validate(self) -> None:
         if self.cpu_slots < 1:
             raise ValueError(f"{self.name}: cpu_slots must be >= 1")

@@ -11,7 +11,7 @@ sync/data-movement/operation breakdown (Fig 8/11), device usage and energy
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import SystemConfig, default_config
 from ..errors import SchedulingError, SimulationError
@@ -32,7 +32,7 @@ from .tracegen import TaskSpec, generate_trace
 _STAGING_PREFIX = "__staging__"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Task:
     uid: str
     step: int
@@ -45,11 +45,12 @@ class _Task:
     #: Placement chosen at start time (for timeline recording).
     device: Optional[str] = None
     start_s: float = 0.0
-
-    @property
-    def sort_key(self):
-        topo = self.spec.topo_index if self.spec is not None else -1
-        return (self.priority, self.step, topo)
+    #: Scheduling order (priority, step, topo index) — a unique total order,
+    #: precomputed because the drain loop sorts the ready list every round.
+    sort_key: Tuple[int, int, int] = (0, 0, 0)
+    #: Preference-ordered placements, fixed per task (policies are pure
+    #: per-op once prepared) — precomputed to keep ``_try_start`` cheap.
+    places: Tuple[str, ...] = ()
 
 
 class Simulation:
@@ -104,7 +105,16 @@ class Simulation:
 
         self.usage = DeviceUsage()
         self._tasks: Dict[str, _Task] = {}
-        self._ready: List[str] = []
+        self._ready: List[_Task] = []
+        #: Memoized placement-duration estimates: every quantity feeding
+        #: ``_estimate`` (device rates, slot counts, op costs) is constant
+        #: for the lifetime of one simulation, so estimates are keyed by
+        #: (placement, op identity).  Ops live as long as the graph does,
+        #: so the id cannot be reused while the entry is reachable.
+        self._estimate_cache: Dict[Tuple[str, int], float] = {}
+        self._fallback_cache: Dict[Tuple[int, str, str], bool] = {}
+        self._gang_cache: Dict[int, int] = {}
+        self._min_step = 0
         self._step_remaining: Dict[int, int] = {}
         self._step_end: Dict[int, float] = {}
         self._model_step_remaining: Dict[tuple, int] = {}
@@ -123,12 +133,15 @@ class Simulation:
     def _build_tasks(self) -> None:
         specs = generate_trace(self.graph, self.steps)
         for spec in specs:
+            priority = self.policy.priority(spec.op)
             self._tasks[spec.uid] = _Task(
                 uid=spec.uid,
                 step=spec.step,
                 spec=spec,
                 indeg=len(spec.deps),
-                priority=self.policy.priority(spec.op),
+                priority=priority,
+                sort_key=(priority, spec.step, spec.topo_index),
+                places=self.policy.placements(spec.op),
             )
         for spec in specs:
             for dep in spec.deps:
@@ -145,7 +158,7 @@ class Simulation:
                 self._model_step_remaining.get(key, 0) + 1
             )
             if task.indeg == 0:
-                self._ready.append(task.uid)
+                self._ready.append(task)
 
     def _add_staging_tasks(self, specs: List[TaskSpec]) -> None:
         """One host->device staging pseudo-task per step; the step's entry
@@ -153,7 +166,10 @@ class Simulation:
         activations of an over-capacity working set — must be resident)."""
         for step in range(self.steps):
             uid = f"s{step}/{_STAGING_PREFIX}"
-            staging = _Task(uid=uid, step=step, spec=None, indeg=0)
+            staging = _Task(
+                uid=uid, step=step, spec=None, indeg=0,
+                sort_key=(0, step, -1),
+            )
             self._tasks[uid] = staging
             prefix = f"s{step}/"
             for spec in specs:
@@ -187,11 +203,11 @@ class Simulation:
 
     @property
     def _min_unfinished_step(self) -> int:
-        pending = [s for s, n in self._step_remaining.items() if n > 0]
-        return min(pending) if pending else self.steps
+        # maintained incrementally by _finish; steps only ever complete
+        return self._min_step
 
     def _admissible(self, task: _Task) -> bool:
-        return task.step <= self._min_unfinished_step + self.policy.pipeline_depth
+        return task.step <= self._min_step + self.policy.pipeline_depth
 
     def _schedule_drain(self) -> None:
         if self._drain_scheduled:
@@ -207,13 +223,25 @@ class Simulation:
             for waiter in waiters:
                 if not waiter():
                     self._fixed_waiters.append(waiter)
-        for uid in sorted(self._ready, key=lambda u: self._tasks[u].sort_key):
-            task = self._tasks[uid]
-            if task.started or not self._admissible(task):
+        if not self._ready:
+            return
+        # Swap the ready list out before iterating: synchronous completions
+        # inside _try_start append newly-unblocked tasks to self._ready,
+        # which the next drain round picks up (same semantics as iterating
+        # a snapshot).  sort_key is a unique total order, so the rebuilt
+        # leftover list is deterministic regardless of insertion order.
+        batch = self._ready
+        self._ready = []
+        batch.sort(key=lambda t: t.sort_key)
+        leftover = []
+        for task in batch:
+            if task.started:
                 continue
-            if self._try_start(task):
+            if self._admissible(task) and self._try_start(task):
                 task.started = True
-                self._ready.remove(uid)
+            else:
+                leftover.append(task)
+        self._ready.extend(leftover)
 
     def _finish(self, task: _Task) -> None:
         if task.done:
@@ -231,18 +259,26 @@ class Simulation:
                     end_s=now,
                 )
             )
-        self._step_remaining[task.step] -= 1
-        if self._step_remaining[task.step] == 0:
+        remaining = self._step_remaining[task.step] - 1
+        self._step_remaining[task.step] = remaining
+        if remaining == 0:
             self._step_end[task.step] = now
+            while (
+                self._min_step < self.steps
+                and self._step_remaining.get(self._min_step, 0) == 0
+            ):
+                self._min_step += 1
         key = (self._task_model(task), task.step)
         self._model_step_remaining[key] -= 1
         if self._model_step_remaining[key] == 0:
             self._model_step_end[key] = now
+        tasks = self._tasks
+        ready = self._ready
         for dep_uid in task.dependents:
-            dependent = self._tasks[dep_uid]
+            dependent = tasks[dep_uid]
             dependent.indeg -= 1
             if dependent.indeg == 0:
-                self._ready.append(dep_uid)
+                ready.append(dependent)
         self._schedule_drain()
 
     # ------------------------------------------------------------------
@@ -257,7 +293,19 @@ class Simulation:
     # placement cost estimates (used for the profile-aware CPU fallback)
     # ------------------------------------------------------------------
     def _estimate(self, place: str, op) -> float:
-        """Rough duration estimate of ``op`` on ``place`` (ignoring queueing)."""
+        """Rough duration estimate of ``op`` on ``place`` (ignoring queueing).
+
+        Memoized per (place, op): the estimate deliberately ignores live
+        queue state, so it is invariant over one simulation.
+        """
+        key = (place, id(op))
+        cached = self._estimate_cache.get(key)
+        if cached is None:
+            cached = self._estimate_uncached(place, op)
+            self._estimate_cache[key] = cached
+        return cached
+
+    def _estimate_uncached(self, place: str, op) -> float:
         if place == "cpu":
             fraction = 1.0 / self.policy.cpu_slots
             return self.cpu_model.op_timing(op, cores_fraction=fraction).total_s
@@ -292,12 +340,16 @@ class Simulation:
         """Principle 2, profile-aware: spill to a secondary placement only
         when it is not dramatically slower than the (busy) preferred one —
         the runtime knows both costs from step-1 profiling."""
-        limit = self.config.runtime.cpu_fallback_slowdown_limit
-        preferred_estimate = self._estimate(preferred, op)
-        fallback_estimate = self._estimate(place, op)
-        if preferred_estimate <= 0:
-            return True
-        return fallback_estimate <= limit * preferred_estimate
+        key = (id(op), place, preferred)
+        cached = self._fallback_cache.get(key)
+        if cached is None:
+            limit = self.config.runtime.cpu_fallback_slowdown_limit
+            preferred_estimate = self._estimate(preferred, op)
+            cached = preferred_estimate <= 0 or (
+                self._estimate(place, op) <= limit * preferred_estimate
+            )
+            self._fallback_cache[key] = cached
+        return cached
 
     def _try_start(self, task: _Task) -> bool:
         if task.spec is None:
@@ -305,7 +357,7 @@ class Simulation:
             self._start_staging(task)
             return True
         op = task.spec.op
-        places = self.policy.placements(op)
+        places = task.places
         # A deprioritized (co-run tenant) task only consumes *idle* capacity:
         # it never jumps ahead of primary work queued for a device (the
         # ready list is already priority-ordered, so primary tasks get the
@@ -434,9 +486,14 @@ class Simulation:
         return max(compute_s, memory_s)
 
     def _prog_gang_size(self, op) -> int:
-        """PIMs a whole-kernel prog execution may gang (>= 1)."""
-        limit = max(1, self.policy.prog_gang_limit)
-        return max(1, min(limit, op.cost.parallelism, self.prog.slots))
+        """PIMs a whole-kernel prog execution may gang (>= 1); memoized —
+        every input (gang limit, parallelism, slot count) is static."""
+        gang = self._gang_cache.get(id(op))
+        if gang is None:
+            limit = max(1, self.policy.prog_gang_limit)
+            gang = max(1, min(limit, op.cost.parallelism, self.prog.slots))
+            self._gang_cache[id(op)] = gang
+        return gang
 
     def _start_prog(self, task: _Task, gang: int = 1) -> None:
         """Whole kernel on ``gang`` programmable PIM(s) (binary #4).

@@ -10,6 +10,7 @@ cross-step dependences induced by parameter updates.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Tuple
 
@@ -18,6 +19,12 @@ from ..nn.graph import Graph
 from ..nn.ops import Op
 from ..pimcl.codegen import generate_binaries
 from ..pimcl.kernel import Kernel
+
+#: Compiled-kernel cache, keyed by graph identity.  Binary generation is
+#: pure per-op, so repeated simulations of the same graph (figure sweeps,
+#: RC/OP ablations) reuse one compilation.  Entries are evicted when the
+#: graph is garbage-collected, so an ``id()`` can never be observed stale.
+_kernel_cache: Dict[int, Dict[str, Kernel]] = {}
 
 
 def task_uid(step: int, op_name: str) -> str:
@@ -42,8 +49,19 @@ class TaskSpec:
 
 
 def compile_kernels(graph: Graph) -> Dict[str, Kernel]:
-    """Run binary generation (Figure 4) for every op in the graph."""
-    return {op.name: generate_binaries(op) for op in graph.ops}
+    """Run binary generation (Figure 4) for every op in the graph (cached).
+
+    The cache assumes the graph is not mutated after its first simulation;
+    graphs are assembled by the model builders / ``merge_graphs`` before
+    any trace is generated, so this holds throughout the code base.
+    """
+    key = id(graph)
+    kernels = _kernel_cache.get(key)
+    if kernels is None:
+        kernels = {op.name: generate_binaries(op) for op in graph.ops}
+        _kernel_cache[key] = kernels
+        weakref.finalize(graph, _kernel_cache.pop, key, None)
+    return kernels
 
 
 def generate_trace(

@@ -73,6 +73,81 @@ class TestEngine:
         with pytest.raises(SimulationError):
             engine.run(max_events=100)
 
+    def test_cancel_one_of_tied_events(self):
+        # cancellation must not disturb the (time, seq) order of survivors
+        engine = Engine()
+        log = []
+        engine.at(1.0, lambda: log.append("a"))
+        b = engine.at(1.0, lambda: log.append("b"))
+        engine.at(1.0, lambda: log.append("c"))
+        b.cancel()
+        engine.run()
+        assert log == ["a", "c"]
+
+    def test_cancel_from_callback_of_tied_event(self):
+        # a callback may cancel an event scheduled for the same instant
+        engine = Engine()
+        log = []
+        later = engine.at(1.0, lambda: log.append("late"))
+        engine.at(1.0, lambda: later.cancel())  # fires first? no: seq order
+        engine.run()
+        # "late" was scheduled first, so it fires before the canceller
+        assert log == ["late"]
+
+        engine2 = Engine()
+        log2 = []
+        victim = [None]
+        engine2.at(1.0, lambda: victim[0].cancel())
+        victim[0] = engine2.at(1.0, lambda: log2.append("late"))
+        engine2.run()
+        assert log2 == []
+
+    def test_cancel_and_reschedule(self):
+        # the fixed-pool executor's pattern: cancel a completion, schedule
+        # a new one at a different time
+        engine = Engine()
+        log = []
+        handle = engine.at(5.0, lambda: log.append("old"))
+        assert handle.time == 5.0
+        handle.cancel()
+        engine.at(3.0, lambda: log.append("new"))
+        engine.run()
+        assert log == ["new"]
+        assert engine.now == 3.0
+
+    def test_double_cancel_is_safe(self):
+        engine = Engine()
+        handle = engine.at(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+        engine.run()
+
+    def test_cancelled_events_not_processed_or_pending(self):
+        engine = Engine()
+        engine.at(1.0, lambda: None)
+        cancelled = engine.at(2.0, lambda: None)
+        cancelled.cancel()
+        assert engine.pending_events == 1
+        engine.run()
+        assert engine.events_processed == 1
+
+    def test_none_callback_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().at(1.0, None)
+
+    def test_interleaved_schedule_cancel_ordering(self):
+        # stress the list-entry heap: many ties, alternating cancellations
+        engine = Engine()
+        log = []
+        handles = [
+            engine.at(1.0, (lambda i=i: log.append(i))) for i in range(10)
+        ]
+        for i in range(0, 10, 2):
+            handles[i].cancel()
+        engine.run()
+        assert log == [1, 3, 5, 7, 9]
+
 
 class TestActivityTracker:
     def test_single_activity_buckets(self):
