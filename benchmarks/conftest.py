@@ -12,11 +12,11 @@ timing regression (or an unexpectedly cold cache) is visible at a glance.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
 from repro.sim import cache as sim_cache
+from repro.sim.results import canonical_dumps
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 SUMMARY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_summary.json"
@@ -54,7 +54,7 @@ def pytest_sessionfinish(session, exitstatus):
         },
         "figures": _records,
     }
-    SUMMARY_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    SUMMARY_PATH.write_text(canonical_dumps(summary, indent=2) + "\n")
 
 
 def emit(name: str, text: str) -> None:

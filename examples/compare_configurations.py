@@ -12,23 +12,20 @@ Usage::
 
 import sys
 
-from repro.baselines import CONFIGURATION_ORDER, build_configuration
-from repro.nn.models import available_models, build_model
-from repro.sim import simulate
+from repro.api import list_models, simulate
+from repro.baselines import CONFIGURATION_ORDER
 
 
 def main() -> None:
     model = sys.argv[1] if len(sys.argv) > 1 else "dcgan"
-    if model not in available_models():
+    if model not in list_models():
         raise SystemExit(f"unknown model {model!r}")
 
-    graph = build_model(model)
     print(f"== {model} on the five evaluated configurations ==\n")
 
-    results = {}
-    for name in CONFIGURATION_ORDER:
-        config, policy = build_configuration(name)
-        results[name] = simulate(graph, policy, config)
+    results = {
+        name: simulate(model, name).result for name in CONFIGURATION_ORDER
+    }
 
     hetero = results["hetero-pim"]
     header = (f"{'config':12s} {'step time':>12s} {'op':>10s} {'dm':>10s} "

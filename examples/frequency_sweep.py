@@ -13,20 +13,16 @@ Usage::
 
 import sys
 
-from repro.baselines import build_configuration
-from repro.config import FREQUENCY_SCALES, default_config
-from repro.nn.models import available_models, build_model
-from repro.sim import simulate
+from repro.api import list_models, simulate
+from repro.config import FREQUENCY_SCALES
 
 
 def main() -> None:
     model = sys.argv[1] if len(sys.argv) > 1 else "alexnet"
-    if model not in available_models():
+    if model not in list_models():
         raise SystemExit(f"unknown model {model!r}")
 
-    graph = build_model(model)
-    gpu_cfg, gpu_policy = build_configuration("gpu")
-    gpu = simulate(graph, gpu_policy, gpu_cfg)
+    gpu = simulate(model, "gpu").result
     print(f"== {model}: PIM frequency scaling (GPU reference: "
           f"{gpu.step_time_s * 1e3:.2f} ms, {gpu.average_power_w:.0f} W) ==\n")
 
@@ -34,9 +30,7 @@ def main() -> None:
           f"{'power (W)':>10s} {'GPU power ratio':>16s}")
     best = None
     for scale in FREQUENCY_SCALES:
-        base = default_config().with_frequency_scale(scale)
-        config, policy = build_configuration("hetero-pim", base)
-        r = simulate(graph, policy, config)
+        r = simulate(model, "hetero-pim", frequency_scale=scale).result
         edp = r.edp()
         if best is None or edp < best[1]:
             best = (scale, edp)

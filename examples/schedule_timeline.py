@@ -1,39 +1,39 @@
 #!/usr/bin/env python
 """Visualize the runtime's schedule as an ASCII Gantt chart.
 
-Runs one model on Hetero PIM with timeline recording enabled and renders
-where every operation executed — the CPU lanes, the programmable PIM, and
-the fixed-function pool — making the operation pipeline's backfilling
-visible.
+Runs one model on Hetero PIM with observability enabled and renders where
+every operation executed — the CPU lanes, the programmable PIM, and the
+fixed-function pool — making the operation pipeline's backfilling visible.
+Optionally exports the same schedule as a Chrome/Perfetto trace.
 
 Usage::
 
-    python examples/schedule_timeline.py [model] [width]
+    python examples/schedule_timeline.py [model] [width] [trace.json]
 """
 
 import sys
 
-from repro.baselines import build_configuration
-from repro.nn.models import available_models, build_model
-from repro.sim.simulation import Simulation
+from repro.api import list_models, simulate
 
 
 def main() -> None:
     model = sys.argv[1] if len(sys.argv) > 1 else "dcgan"
     width = int(sys.argv[2]) if len(sys.argv) > 2 else 100
-    if model not in available_models():
+    trace_out = sys.argv[3] if len(sys.argv) > 3 else None
+    if model not in list_models():
         raise SystemExit(f"unknown model {model!r}")
 
-    config, policy = build_configuration("hetero-pim")
-    sim = Simulation(build_model(model), policy, config, record_timeline=True)
-    result = sim.run()
-    timeline = sim.timeline
+    report = simulate(model, "hetero-pim", observe=True)
+    result = report.result
+    timeline = report.timeline
 
     print(f"== {model} on {result.config_name}: "
           f"{result.step_time_s * 1e3:.2f} ms/step ==\n")
     print(timeline.render(width=width))
 
     print("\nper-device load:")
+    busy_fraction = report.device_busy_fraction
+    queue_wait = report.queue_wait_s
     for device in ("cpu", "prog", "fixed"):
         entries = timeline.on_device(device)
         if not entries:
@@ -41,9 +41,16 @@ def main() -> None:
         busy = timeline.device_busy_s(device)
         peak = timeline.concurrency_profile(device)
         print(f"  {device:6s} {len(entries):5d} tasks, "
-              f"{busy * 1e3:9.2f} ms task-time, peak concurrency {peak}")
+              f"{busy * 1e3:9.2f} ms task-time, peak concurrency {peak}, "
+              f"busy {busy_fraction.get(device, 0.0):4.0%}, "
+              f"queued {queue_wait.get(device, 0.0) * 1e3:8.2f} ms")
     print(f"\nfixed-pool utilization over its duty window: "
           f"{result.fixed_pim_utilization:.0%}")
+
+    if trace_out:
+        n = report.save_trace(trace_out)
+        print(f"\nwrote {n} Chrome Trace events to {trace_out} "
+              f"(open in ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

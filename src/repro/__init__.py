@@ -29,7 +29,7 @@ from .config import (
 )
 from .errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CPUConfig",
@@ -39,9 +39,33 @@ __all__ = [
     "PROG_PIM_COUNTS",
     "ProgPIMConfig",
     "ReproError",
+    "RunReport",
     "RuntimeConfig",
     "StackConfig",
     "SystemConfig",
+    "api",
     "default_config",
+    "simulate",
     "__version__",
 ]
+
+#: Facade entry points, loaded lazily so that ``import repro`` stays cheap
+#: and config-only consumers pull in no simulator modules.
+_LAZY = {
+    "api": ("repro.api", None),
+    "simulate": ("repro.api", "simulate"),
+    "RunReport": ("repro.obs.report", "RunReport"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if attr is None else getattr(module, attr)
+    globals()[name] = value
+    return value

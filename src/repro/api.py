@@ -1,0 +1,149 @@
+"""Unified facade over the simulator: one call, one report.
+
+:func:`simulate` is the supported entry point for running any paper model
+on any evaluated system configuration.  It hides the graph builder, the
+baseline factory, the content-addressed result cache and the observability
+plumbing behind a single signature and always returns a
+:class:`~repro.obs.report.RunReport`::
+
+    from repro.api import simulate
+
+    report = simulate("alexnet", "hetero-pim", steps=3)
+    print(report.step_time_s, report.device_busy_fraction)
+    report.save_trace("trace.json")   # needs observe=True (see below)
+
+Pass ``observe=True`` (or an existing
+:class:`~repro.obs.metrics.MetricsRegistry`) to run the simulation live
+with schedule-timeline recording — the report can then export a
+Chrome/Perfetto trace.  Unobserved calls go through the result cache
+(:mod:`repro.sim.cache`) and are typically instant on a warm cache; the
+numbers in the report are identical either way, because the simulator's
+accounting is always on.
+
+The CLI (``python -m repro run``), the experiment scripts and the examples
+all call through this module; the older graph-level entry points remain
+importable but warn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .config import SystemConfig, default_config
+from .nn.graph import Graph
+from .nn.models import available_models, build_model
+from .obs.metrics import MetricsRegistry
+from .obs.report import RunReport
+from .sim import cache as sim_cache
+from .sim.policy import SchedulingPolicy
+from .sim.simulation import Simulation
+
+#: Named configurations accepted by :func:`simulate` (the paper's five
+#: evaluated systems plus the Neurocube comparison point).
+CONFIGURATIONS = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim", "neurocube")
+
+_graph_cache: Dict[Tuple[str, Optional[int]], Graph] = {}
+
+
+def list_models() -> Tuple[str, ...]:
+    """Names accepted as :func:`simulate`'s ``model`` argument."""
+    return tuple(available_models())
+
+
+def list_configurations() -> Tuple[str, ...]:
+    """Names accepted as :func:`simulate`'s ``config`` argument."""
+    return CONFIGURATIONS
+
+
+def cached_graph(model: str, batch_size: Optional[int] = None) -> Graph:
+    """Build (or fetch) the training-step graph for ``model``."""
+    key = (model, batch_size)
+    if key not in _graph_cache:
+        _graph_cache[key] = build_model(model, batch_size)
+    return _graph_cache[key]
+
+
+def resolve_configuration(
+    config_name: str, base: Optional[SystemConfig] = None
+) -> Tuple[SystemConfig, SchedulingPolicy]:
+    """Instantiate a named configuration (see :data:`CONFIGURATIONS`)."""
+    from .baselines import build_configuration, make_neurocube
+
+    if config_name == "neurocube":
+        return make_neurocube(base if base is not None else default_config())
+    return build_configuration(config_name, base)
+
+
+def clear_caches() -> None:
+    """Drop cached graphs and simulation results (memory and disk tiers)."""
+    _graph_cache.clear()
+    sim_cache.clear()
+
+
+def simulate(
+    model: str,
+    config: str = "hetero-pim",
+    steps: int = 3,
+    *,
+    batch_size: Optional[int] = None,
+    frequency_scale: float = 1.0,
+    base: Optional[SystemConfig] = None,
+    observe=None,
+) -> RunReport:
+    """Simulate one training run of ``model`` on configuration ``config``.
+
+    Parameters
+    ----------
+    model:
+        A model-zoo name (:func:`list_models`).
+    config:
+        A configuration name (:func:`list_configurations`).
+    steps:
+        Measured training steps (positive).
+    batch_size:
+        Override the model's default mini-batch size.
+    frequency_scale:
+        PIM PLL multiplier (paper section VI-D); applied on top of
+        ``base`` (or the default configuration).
+    base:
+        Optional base :class:`~repro.config.SystemConfig` to derive the
+        configuration from.
+    observe:
+        ``None``/``False`` — serve from the result cache, no timeline.
+        ``True`` or a :class:`~repro.obs.metrics.MetricsRegistry` — run
+        live with timeline recording (enables ``report.save_trace``); a
+        supplied registry additionally receives the run's metrics.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if frequency_scale != 1.0:
+        base = (base if base is not None else default_config()).with_frequency_scale(
+            frequency_scale
+        )
+    graph = cached_graph(model, batch_size)
+    system, policy = resolve_configuration(config, base)
+
+    before = sim_cache.stats()
+    if observe:
+        registry = observe if isinstance(observe, MetricsRegistry) else None
+        sim = Simulation(
+            graph,
+            policy,
+            config=system,
+            steps=steps,
+            record_timeline=True,
+            observe=registry,
+        )
+        result = sim.run()
+        # warm the cache: observed runs produce the same result record
+        sim_cache.put(
+            sim_cache.run_fingerprint(graph, policy, system, steps), result
+        )
+        timeline = sim.timeline
+    else:
+        result = sim_cache.simulate_cached(graph, policy, system, steps=steps)
+        timeline = None
+    after = sim_cache.stats()
+    delta = {k: after[k] - before.get(k, 0) for k in after}
+
+    return RunReport(result=result, timeline=timeline, cache_stats=delta)

@@ -2,11 +2,13 @@
 
 Commands:
 
-* ``run`` — simulate one model on one configuration and print the
-  per-step report (optionally with an ASCII schedule timeline);
+* ``run`` — simulate one model on one configuration via
+  :func:`repro.api.simulate` and print the per-step report (optionally
+  with an ASCII schedule timeline and/or a Chrome/Perfetto trace file);
 * ``profile`` — Table-I style CPU characterization of a model;
 * ``experiment`` — regenerate one paper table/figure by id;
-* ``trace`` — export a model's operation trace to JSON;
+* ``trace`` — export a model trace to JSON (``--format ops`` for the raw
+  operation trace, ``--format chrome`` for a Chrome Trace Event schedule);
 * ``models`` / ``configs`` — list available workloads and configurations.
 """
 
@@ -16,12 +18,10 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import experiments
-from .baselines import CONFIGURATION_ORDER, build_configuration, make_neurocube
-from .config import default_config
+from . import api, experiments
+from .baselines import CONFIGURATION_ORDER
 from .nn.models import available_models, build_model
 from .profiling import WorkloadProfiler
-from .sim.simulation import Simulation
 from .sim.trace_io import export_trace
 
 EXPERIMENT_IDS = (
@@ -56,13 +56,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--config", default="hetero-pim",
         choices=list(CONFIGURATION_ORDER) + ["neurocube"],
     )
-    run.add_argument("--steps", type=int, default=None,
+    run.add_argument("--steps", type=_positive_int, default=None,
                      help="training steps to simulate (default: 3)")
     run.add_argument("--frequency-scale", type=float, default=1.0,
                      help="PIM PLL multiplier (paper studies 1/2/4)")
     run.add_argument("--batch-size", type=int, default=None)
     run.add_argument("--timeline", action="store_true",
                      help="print an ASCII schedule timeline")
+    run.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write the schedule as Chrome Trace Event JSON "
+                          "(open in chrome://tracing or ui.perfetto.dev)")
 
     profile = sub.add_parser("profile", help="CPU characterization (Table I)")
     profile.add_argument("model", choices=available_models())
@@ -73,10 +76,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("id", choices=EXPERIMENT_IDS)
 
-    trace = sub.add_parser("trace", help="export an operation trace to JSON")
+    trace = sub.add_parser("trace", help="export a model trace to JSON")
     trace.add_argument("model", choices=available_models())
     trace.add_argument("output")
-    trace.add_argument("--steps", type=int, default=1)
+    trace.add_argument("--steps", type=_positive_int, default=1)
+    trace.add_argument(
+        "--format", choices=("ops", "chrome"), default="ops",
+        help="ops: raw operation trace; chrome: simulated schedule in "
+             "Chrome Trace Event format",
+    )
+    trace.add_argument(
+        "--config", default="hetero-pim",
+        choices=list(CONFIGURATION_ORDER) + ["neurocube"],
+        help="configuration to simulate (chrome format only)",
+    )
 
     sub.add_parser("models", help="list available training workloads")
     sub.add_parser("configs", help="list evaluated system configurations")
@@ -84,18 +97,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    base = default_config()
-    if args.frequency_scale != 1.0:
-        base = base.with_frequency_scale(args.frequency_scale)
-    if args.config == "neurocube":
-        config, policy = make_neurocube(base)
-    else:
-        config, policy = build_configuration(args.config, base)
-    graph = build_model(args.model, args.batch_size)
-    sim = Simulation(
-        graph, policy, config, steps=args.steps, record_timeline=args.timeline
+    observe = bool(args.timeline or args.trace_out)
+    report = api.simulate(
+        args.model,
+        args.config,
+        args.steps if args.steps is not None else 3,
+        batch_size=args.batch_size,
+        frequency_scale=args.frequency_scale,
+        observe=observe,
     )
-    result = sim.run()
+    result = report.result
     b = result.step_breakdown
     print(f"{args.model} on {result.config_name} "
           f"(PLL {args.frequency_scale:g}x, {result.steps} steps)")
@@ -107,9 +118,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"  average power      {result.average_power_w:10.1f} W")
     print(f"  EDP                {result.edp():10.5f} J*s")
     print(f"  pool utilization   {result.fixed_pim_utilization:10.0%}")
-    if args.timeline and sim.timeline is not None:
+    busy = report.device_busy_fraction
+    if busy:
+        lanes = "  ".join(f"{d} {f:.0%}" for d, f in busy.items())
+        print(f"  device busy        {lanes}")
+    if args.trace_out:
+        n = report.save_trace(args.trace_out)
+        print(f"  trace              {n} events -> {args.trace_out}")
+    if args.timeline and report.timeline is not None:
         print()
-        print(sim.timeline.render())
+        print(report.timeline.render())
     return 0
 
 
@@ -131,6 +149,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.format == "chrome":
+        report = api.simulate(
+            args.model, args.config, args.steps, observe=True
+        )
+        n = report.save_trace(args.output)
+        print(f"wrote {n} trace events ({args.steps} steps of {args.model} "
+              f"on {report.config_name}) to {args.output}")
+        return 0
     graph = build_model(args.model)
     n = export_trace(graph, args.steps, args.output)
     print(f"wrote {n} task records ({args.steps} steps of {args.model}) "

@@ -1,15 +1,19 @@
-"""Shared experiment plumbing: cached model builds and simulation runs."""
+"""Shared experiment plumbing: cached model builds and simulation runs.
+
+Thin delegation layer over :mod:`repro.api` — the experiments predate the
+facade and keep their graph-level ``run_model_on`` (returning the cached
+:class:`~repro.sim.results.RunResult`), while :func:`run_report_on`
+exposes the report-level view for callers that want observability fields.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
-from ..baselines import build_configuration, make_neurocube
-from ..config import SystemConfig, default_config
-from ..nn.graph import Graph
-from ..nn.models import build_model
+from .. import api
+from ..api import cached_graph, clear_caches, resolve_configuration  # noqa: F401
+from ..config import SystemConfig
 from ..sim import cache as sim_cache
-from ..sim.policy import SchedulingPolicy
 from ..sim.results import RunResult
 
 #: The five CNN models of the main evaluation, in figure order.
@@ -17,25 +21,6 @@ EVAL_MODELS = ("vgg-19", "alexnet", "dcgan", "resnet-50", "inception-v3")
 
 #: The five system configurations, in figure order.
 EVAL_CONFIGS = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim")
-
-_graph_cache: Dict[Tuple[str, Optional[int]], Graph] = {}
-
-
-def cached_graph(model: str, batch_size: Optional[int] = None) -> Graph:
-    """Build (or fetch) the training-step graph for ``model``."""
-    key = (model, batch_size)
-    if key not in _graph_cache:
-        _graph_cache[key] = build_model(model, batch_size)
-    return _graph_cache[key]
-
-
-def resolve_configuration(
-    config_name: str, base: Optional[SystemConfig] = None
-) -> Tuple[SystemConfig, SchedulingPolicy]:
-    """Instantiate a named configuration (``EVAL_CONFIGS`` or ``neurocube``)."""
-    if config_name == "neurocube":
-        return make_neurocube(base if base is not None else default_config())
-    return build_configuration(config_name, base)
 
 
 def run_model_on(
@@ -56,7 +41,14 @@ def run_model_on(
     )
 
 
-def clear_caches() -> None:
-    """Drop cached graphs and simulation results (memory and disk tiers)."""
-    _graph_cache.clear()
-    sim_cache.clear()
+def run_report_on(
+    model: str,
+    config_name: str,
+    base: Optional[SystemConfig] = None,
+    steps: Optional[int] = None,
+):
+    """Like :func:`run_model_on`, but returns the :class:`RunReport` view."""
+    if steps is None:
+        config, _ = resolve_configuration(config_name, base)
+        steps = config.runtime.measured_steps
+    return api.simulate(model, config_name, steps, base=base)

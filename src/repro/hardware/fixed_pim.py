@@ -14,9 +14,14 @@ quantity behind the paper's Figure 15 utilization results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from ..errors import SchedulingError
+
+#: Busy-fraction bins of the occupancy histogram (plus a dedicated idle
+#: bin): bin 0 is exactly-idle time, bins 1..OCCUPANCY_BINS cover busy-unit
+#: fractions (0, 1] in equal slices.
+OCCUPANCY_BINS = 16
 
 
 @dataclass
@@ -27,6 +32,9 @@ class FixedPIMPool:
     _allocations: Dict[str, int] = field(default_factory=dict)
     _last_time: float = 0.0
     _busy_unit_seconds: float = 0.0
+    _occupancy_s: List[float] = field(
+        default_factory=lambda: [0.0] * (OCCUPANCY_BINS + 1)
+    )
 
     def __post_init__(self) -> None:
         if self.n_units < 1:
@@ -89,13 +97,33 @@ class FixedPIMPool:
             raise SchedulingError(
                 f"time went backwards: {now} < {self._last_time}"
             )
-        self._busy_unit_seconds += self.busy_units * (now - self._last_time)
+        elapsed = now - self._last_time
+        if elapsed > 0:
+            busy = self.busy_units
+            self._busy_unit_seconds += busy * elapsed
+            if busy == 0:
+                self._occupancy_s[0] += elapsed
+            else:
+                idx = 1 + min(
+                    OCCUPANCY_BINS - 1, busy * OCCUPANCY_BINS // self.n_units
+                )
+                self._occupancy_s[idx] += elapsed
         self._last_time = now
 
     def busy_unit_seconds(self, now: float) -> float:
         """Cumulative busy unit-seconds up to ``now``."""
         self._integrate(now)
         return self._busy_unit_seconds
+
+    def occupancy_histogram_s(self, now: float) -> Tuple[float, ...]:
+        """Seconds spent at each occupancy level up to ``now``.
+
+        Index 0 is exactly-idle time; index ``i`` (1..OCCUPANCY_BINS) is
+        time with a busy-unit fraction in bin ``i``'s slice of (0, 1].
+        The values sum to ``now`` when the pool existed from time zero.
+        """
+        self._integrate(now)
+        return tuple(self._occupancy_s)
 
     def utilization(self, start: float, end: float, busy_at_start: float) -> float:
         """Average pool utilization over [start, end].

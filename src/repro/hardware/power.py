@@ -14,6 +14,7 @@ EDP terms.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -52,6 +53,15 @@ class DeviceUsage:
             gpu_bytes=self.gpu_bytes + other.gpu_bytes,
         )
 
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "DeviceUsage":
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class EnergyBreakdown:
@@ -79,6 +89,25 @@ class EnergyBreakdown:
     def edp(self) -> float:
         """Energy-delay product (paper section VI-G metric)."""
         return self.total_j * self.makespan_s
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "dynamic_j": self.dynamic_j,
+            "static_j": self.static_j,
+            "memory_j": self.memory_j,
+            "makespan_s": self.makespan_s,
+            "by_device": dict(sorted(self.by_device.items())),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EnergyBreakdown":
+        return cls(
+            dynamic_j=data["dynamic_j"],
+            static_j=data["static_j"],
+            memory_j=data["memory_j"],
+            makespan_s=data["makespan_s"],
+            by_device=dict(data.get("by_device") or {}),
+        )
 
 
 class EnergyModel:

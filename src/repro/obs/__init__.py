@@ -1,0 +1,60 @@
+"""Observability layer: metrics registry, trace export, run reports.
+
+Three pieces, consumable separately:
+
+* :mod:`repro.obs.metrics` — a lightweight registry of counters, gauges
+  and time-weighted accumulators that the simulator's components publish
+  into (no-op when disabled);
+* :mod:`repro.obs.trace` — Chrome Trace Event Format (``chrome://tracing``
+  / Perfetto) export of schedule timelines with queue-wait, cache and
+  offload-decision annotations;
+* :mod:`repro.obs.report` — the versioned, JSON-serializable
+  :class:`~repro.obs.report.RunReport` returned by :func:`repro.api.simulate`.
+
+``metrics`` is imported eagerly (it is dependency-free); ``report`` and
+``trace`` load lazily so that :mod:`repro.sim` modules can import the
+registry without a circular import.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    TimeWeighted,
+    merge_snapshots,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "RunReport",
+    "TimeWeighted",
+    "build_trace_events",
+    "export_chrome_trace",
+    "merge_snapshots",
+    "validate_chrome_trace",
+]
+
+_LAZY = {
+    "RunReport": ("repro.obs.report", "RunReport"),
+    "build_trace_events": ("repro.obs.trace", "build_trace_events"),
+    "export_chrome_trace": ("repro.obs.trace", "export_chrome_trace"),
+    "validate_chrome_trace": ("repro.obs.trace", "validate_chrome_trace"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value

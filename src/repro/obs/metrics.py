@@ -1,0 +1,206 @@
+"""Lightweight metrics registry (counters, gauges, time-weighted values).
+
+The simulator's hot objects (the event engine, the device executors, the
+scheduler) keep their instruments as plain attributes — an ``inc()`` is one
+attribute add — and *publish* them into a :class:`MetricsRegistry` when a
+snapshot is requested.  Publishing into a disabled registry is a no-op:
+``counter()``/``gauge()``/``time_weighted()`` hand back shared null
+instruments whose mutators do nothing, so instrumented code never branches
+on an enabled flag itself.
+
+Snapshots are deterministic: plain JSON types, keys sorted, values exactly
+reproducible across processes and cache tiers (the simulator itself is
+deterministic, and the registry adds no timing or randomness of its own).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple, Union
+
+Value = Union[int, float, Tuple[float, ...]]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-set value (scalars or fixed-length numeric tuples)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Value = 0
+
+    def set(self, value: Value) -> None:
+        self.value = value
+
+
+class TimeWeighted:
+    """Time-weighted accumulator: integral of a piecewise-constant signal.
+
+    ``set(value, now)`` closes the current interval at ``now`` and starts a
+    new one; ``integral(now)``/``mean(now)`` settle up to ``now``.  Used for
+    utilization-style quantities (busy level over time).
+    """
+
+    __slots__ = ("name", "_value", "_last_t", "_integral")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._last_t = 0.0
+        self._integral = 0.0
+
+    def _settle(self, now: float) -> None:
+        if now < self._last_t:
+            raise ValueError(
+                f"{self.name}: time went backwards ({now} < {self._last_t})"
+            )
+        self._integral += self._value * (now - self._last_t)
+        self._last_t = now
+
+    def set(self, value: float, now: float) -> None:
+        self._settle(now)
+        self._value = value
+
+    def integral(self, now: float) -> float:
+        self._settle(now)
+        return self._integral
+
+    def mean(self, now: float) -> float:
+        """Time-weighted mean over [0, now]."""
+        if now <= 0:
+            return 0.0
+        return self.integral(now) / now
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "<null>"
+    value: Value = 0
+
+    def inc(self, n: float = 1) -> None:
+        pass
+
+    def set(self, value, now: float = 0.0) -> None:
+        pass
+
+    def integral(self, now: float) -> float:
+        return 0.0
+
+    def mean(self, now: float) -> float:
+        return 0.0
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments with a deterministic snapshot.
+
+    A disabled registry (``MetricsRegistry(enabled=False)``, or the module
+    singleton :data:`NULL_REGISTRY`) accepts every call and records
+    nothing; instrumented code pays one no-op method call.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._time_weighted: Dict[str, TimeWeighted] = {}
+
+    def _check_free(self, name: str, kind: Dict) -> None:
+        for other in (self._counters, self._gauges, self._time_weighted):
+            if other is not kind and name in other:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different type"
+                )
+
+    # -- instrument accessors (create on first use) --------------------
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        inst = self._counters.get(name)
+        if inst is None:
+            self._check_free(name, self._counters)
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._check_free(name, self._gauges)
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def time_weighted(self, name: str) -> TimeWeighted:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        inst = self._time_weighted.get(name)
+        if inst is None:
+            self._check_free(name, self._time_weighted)
+            inst = self._time_weighted[name] = TimeWeighted(name)
+        return inst
+
+    # -- bulk updates ---------------------------------------------------
+    def update(self, values: Dict[str, Value]) -> None:
+        """Set one gauge per (name, value) pair."""
+        if not self.enabled:
+            return
+        for name, value in values.items():
+            self.gauge(name).set(value)
+
+    def names(self) -> List[str]:
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._time_weighted)
+        )
+
+    def snapshot(self, now: float = 0.0) -> Dict[str, Value]:
+        """All instrument values as plain JSON types, keys sorted.
+
+        ``now`` settles time-weighted instruments (their integral is
+        reported).  Tuples come back as tuples; serialize with
+        :func:`repro.sim.results.canonical_dumps` for a stable byte form.
+        """
+        out: Dict[str, Value] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, tw in self._time_weighted.items():
+            out[name] = tw.integral(now)
+        return {name: out[name] for name in sorted(out)}
+
+
+#: Shared disabled registry: publish into it for free.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def merge_snapshots(snaps: Iterable[Dict[str, Value]]) -> Dict[str, Value]:
+    """Sum numeric metrics across snapshots (tuples are summed per-slot)."""
+    merged: Dict[str, Value] = {}
+    for snap in snaps:
+        for name, value in snap.items():
+            if name not in merged:
+                merged[name] = value
+            elif isinstance(value, tuple):
+                prev = merged[name]
+                merged[name] = tuple(a + b for a, b in zip(prev, value))
+            else:
+                merged[name] = merged[name] + value  # type: ignore[operator]
+    return {name: merged[name] for name in sorted(merged)}

@@ -1,0 +1,177 @@
+"""The versioned run report returned by :func:`repro.api.simulate`.
+
+:class:`RunReport` is the stable, renderer-facing view of a simulation:
+it wraps the cached :class:`~repro.sim.results.RunResult` with a flat
+summary (step time, energy breakdown, per-device busy fractions, the
+fixed-pool occupancy histogram, offload decisions) and — when the run was
+observed live — the schedule timeline, from which it can export a
+Chrome/Perfetto trace.
+
+The dict form is versioned independently of the result schema so that CLI
+output, experiment scripts and ``BENCH_summary.json`` can all render from
+one shape without re-deriving it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import SimulationError
+from ..sim.results import RunResult, canonical_dumps
+from ..sim.timeline import Timeline
+
+#: Version tag of the report envelope (the nested run result carries its
+#: own ``schema`` field; the two evolve independently).
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Stable observability view of one simulated run."""
+
+    result: RunResult
+    #: Schedule timeline, present only when the run executed live with
+    #: recording enabled (cached results carry aggregates, not timelines).
+    timeline: Optional[Timeline] = None
+    #: Simulation-cache statistics for the call that produced this report.
+    cache_stats: Optional[Dict[str, int]] = None
+
+    # -- delegating accessors ------------------------------------------
+    @property
+    def config_name(self) -> str:
+        return self.result.config_name
+
+    @property
+    def model_name(self) -> str:
+        return self.result.model_name
+
+    @property
+    def steps(self) -> int:
+        return self.result.steps
+
+    @property
+    def step_time_s(self) -> float:
+        return self.result.step_time_s
+
+    @property
+    def makespan_s(self) -> float:
+        return self.result.makespan_s
+
+    @property
+    def step_energy_j(self) -> float:
+        return self.result.step_energy_j
+
+    @property
+    def step_dynamic_energy_j(self) -> float:
+        return self.result.step_dynamic_energy_j
+
+    @property
+    def average_power_w(self) -> float:
+        return self.result.average_power_w
+
+    @property
+    def device_busy_fraction(self) -> Dict[str, float]:
+        return dict(self.result.device_busy_fraction or {})
+
+    @property
+    def bank_occupancy_hist_s(self) -> tuple:
+        return tuple(self.result.bank_occupancy_hist_s or ())
+
+    @property
+    def queue_wait_s(self) -> Dict[str, float]:
+        return dict(self.result.queue_wait_s or {})
+
+    @property
+    def selection(self) -> Optional[Dict]:
+        return self.result.selection
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        return dict(self.result.metrics or {})
+
+    @property
+    def has_timeline(self) -> bool:
+        return self.timeline is not None and bool(self.timeline.entries)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict: flat summary plus the nested run record."""
+        energy = self.result.energy
+        return {
+            "report_schema": REPORT_SCHEMA_VERSION,
+            "model": self.model_name,
+            "config": self.config_name,
+            "steps": self.steps,
+            "step_time_s": self.step_time_s,
+            "makespan_s": self.makespan_s,
+            "step_energy_j": self.step_energy_j,
+            "step_dynamic_energy_j": self.step_dynamic_energy_j,
+            "average_power_w": self.average_power_w,
+            "energy_by_device_j": dict(sorted(energy.by_device.items())),
+            "device_busy_fraction": self.device_busy_fraction,
+            "bank_occupancy_hist_s": list(self.bank_occupancy_hist_s),
+            "queue_wait_s": self.queue_wait_s,
+            "selection": self.selection,
+            "cache_stats": (
+                dict(sorted(self.cache_stats.items()))
+                if self.cache_stats is not None
+                else None
+            ),
+            "run": self.result.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunReport":
+        version = data.get("report_schema")
+        if version != REPORT_SCHEMA_VERSION:
+            raise SimulationError(
+                f"unsupported RunReport schema {version!r} "
+                f"(expected {REPORT_SCHEMA_VERSION})"
+            )
+        return cls(
+            result=RunResult.from_dict(data["run"]),
+            cache_stats=data.get("cache_stats"),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return canonical_dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    # -- trace export --------------------------------------------------
+    def trace_events(self) -> List[Dict]:
+        """Chrome Trace Event dicts for this run's timeline."""
+        if not self.has_timeline:
+            raise SimulationError(
+                "run has no timeline to trace; simulate with observe=True "
+                "(repro.api.simulate) or record_timeline=True"
+            )
+        from .trace import build_trace_events
+
+        return build_trace_events(
+            self.timeline,
+            selection=self.selection,
+            cache_stats=self.cache_stats,
+            process_name=f"{self.model_name} on {self.config_name}",
+        )
+
+    def save_trace(self, path: Union[str, Path]) -> int:
+        """Write the Chrome/Perfetto trace to ``path``; returns event count."""
+        from .trace import to_chrome_payload
+
+        events = self.trace_events()
+        payload = to_chrome_payload(
+            events,
+            other_data={
+                "model": self.model_name,
+                "config": self.config_name,
+                "steps": self.steps,
+            },
+        )
+        Path(path).write_text(canonical_dumps(payload) + "\n")
+        return len(events)

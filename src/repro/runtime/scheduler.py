@@ -90,6 +90,29 @@ class HeteroPimPolicy(SchedulingPolicy):
             return ("prog", "cpu")
         return ("cpu",)
 
+    def decision_log(self) -> Optional[dict]:
+        """Offload-decision log of the last :meth:`prepare` (or None)."""
+        if self.selection is None:
+            return None
+        return self.selection.to_dict()
+
+    def publish_metrics(self, registry) -> None:
+        """Publish selection decisions into an observability registry."""
+        if self.selection is None:
+            return
+        registry.gauge("selection.target_coverage").set(
+            self.selection.target_coverage
+        )
+        registry.gauge("selection.time_coverage").set(
+            self.selection.time_coverage
+        )
+        registry.gauge("selection.candidate_types").set(
+            len(self.selection.candidate_types)
+        )
+        registry.gauge("selection.candidate_ops").set(
+            len(self.selection.candidates)
+        )
+
     def signature(self) -> Tuple:
         # cpu_slots alone is ambiguous here: without an override prepare()
         # replaces it with config.runtime.cpu_slots, with one it does not —

@@ -62,6 +62,32 @@ class SelectionResult:
     def is_candidate_type(self, op_type: str) -> bool:
         return op_type in self.candidate_types
 
+    def to_dict(self) -> dict:
+        """JSON-ready offload-decision log (deterministic order).
+
+        One record per profiled operation type, in global-index order, with
+        the two rank indexes behind each decision — the observability
+        layer's view of section III-C's selection step.
+        """
+        return {
+            "target_coverage": self.target_coverage,
+            "time_coverage": self.time_coverage,
+            "candidate_types": sorted(self.candidate_types),
+            "decisions": [
+                {
+                    "op_type": r.op_type,
+                    "time_s": r.time_s,
+                    "memory_bytes": r.memory_bytes,
+                    "invocations": r.invocations,
+                    "time_rank": r.time_rank,
+                    "memory_rank": r.memory_rank,
+                    "global_index": r.global_index,
+                    "selected": r.op_type in self.candidate_types,
+                }
+                for r in self.ranked
+            ],
+        }
+
 
 def rank_operations(profile: WorkloadProfile) -> List[RankedOp]:
     """Compute per-type time/memory ranks and global indexes.

@@ -1,10 +1,16 @@
-"""Discrete-event, trace-driven simulator (paper section V-A)."""
+"""Discrete-event, trace-driven simulator (paper section V-A).
+
+``repro.sim.simulate`` remains importable for backward compatibility but
+warns on use — new code goes through :func:`repro.api.simulate`
+(model-level, returns a :class:`~repro.obs.report.RunReport`) or
+:func:`repro.sim.cache.simulate_cached` (graph-level, cached).
+"""
 
 from .activity import COMPUTE, DATA_MOVEMENT, SYNC, ActivityTracker, TimeBreakdown
 from .devices import FixedPoolExecutor, SlotDevice
 from .engine import Engine, EventHandle
 from .policy import PLACEMENTS, SchedulingPolicy
-from .results import RunResult
+from .results import RESULT_SCHEMA_VERSION, RunResult, canonical_dumps
 from .simulation import Simulation, simulate
 from .tracegen import TaskSpec, compile_kernels, generate_trace, task_uid, trace_stats
 
@@ -16,6 +22,7 @@ __all__ = [
     "EventHandle",
     "FixedPoolExecutor",
     "PLACEMENTS",
+    "RESULT_SCHEMA_VERSION",
     "RunResult",
     "SYNC",
     "SchedulingPolicy",
@@ -23,6 +30,7 @@ __all__ = [
     "SlotDevice",
     "TaskSpec",
     "TimeBreakdown",
+    "canonical_dumps",
     "compile_kernels",
     "generate_trace",
     "simulate",

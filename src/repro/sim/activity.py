@@ -45,6 +45,21 @@ class TimeBreakdown:
             sync_s=self.sync_s * factor,
         )
 
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "operation_s": self.operation_s,
+            "data_movement_s": self.data_movement_s,
+            "sync_s": self.sync_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "TimeBreakdown":
+        return cls(
+            operation_s=data["operation_s"],
+            data_movement_s=data["data_movement_s"],
+            sync_s=data["sync_s"],
+        )
+
 
 class ActivityTracker:
     """Priority-sweep classifier over concurrent activity counters."""

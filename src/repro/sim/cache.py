@@ -16,11 +16,14 @@ cache — the footgun of the old caller-supplied ``cache_key`` mechanism.
 Two tiers back the fingerprint:
 
 * an in-process dict (free hits within one run of the evaluation);
-* an on-disk store of pickled :class:`~repro.sim.results.RunResult`
-  records under ``<cache-dir>/objects/<aa>/<digest>.pkl``, shared across
+* an on-disk store of canonical-JSON :class:`~repro.sim.results.RunResult`
+  records under ``<cache-dir>/objects/<aa>/<digest>.json``, shared across
   processes — the parallel experiment runner's workers populate it and the
   parent (and every later invocation: pytest, benchmarks, the CLI) reads
-  the same entries.
+  the same entries.  JSON (via the versioned
+  :meth:`~repro.sim.results.RunResult.to_dict` round trip) replaces the
+  earlier pickle format: entries are inspectable, diffable, and safe to
+  load from a shared directory.
 
 Environment knobs:
 
@@ -38,7 +41,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import os
-import pickle
 import tempfile
 import weakref
 from pathlib import Path
@@ -49,8 +51,9 @@ from ..nn.graph import Graph
 from .policy import SchedulingPolicy
 from .results import RunResult
 
-#: Schema/behavior version folded into every fingerprint.
-CACHE_SCHEMA = 1
+#: Schema/behavior version folded into every fingerprint.  2: results carry
+#: observability aggregates and the disk tier stores canonical JSON.
+CACHE_SCHEMA = 2
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_CACHE"
@@ -188,7 +191,7 @@ def run_fingerprint(
 # tiers
 # ---------------------------------------------------------------------------
 def _object_path(fingerprint: str) -> Path:
-    return cache_dir() / "objects" / fingerprint[:2] / f"{fingerprint}.pkl"
+    return cache_dir() / "objects" / fingerprint[:2] / f"{fingerprint}.json"
 
 
 def get(fingerprint: str) -> Optional[RunResult]:
@@ -200,12 +203,11 @@ def get(fingerprint: str) -> Optional[RunResult]:
     if disk_enabled():
         path = _object_path(fingerprint)
         try:
-            with path.open("rb") as fh:
-                result = pickle.load(fh)
+            result = RunResult.from_json(path.read_text())
         except Exception:
             # missing file, or a corrupt/stale entry (truncated write,
-            # schema drift): unpickling can raise nearly anything, and any
-            # failure here is just a cache miss
+            # schema drift): deserialization can raise nearly anything,
+            # and any failure here is just a cache miss
             result = None
         if isinstance(result, RunResult):
             _memory[fingerprint] = result
@@ -226,8 +228,8 @@ def put(fingerprint: str, result: RunResult) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            with os.fdopen(fd, "w") as fh:
+                fh.write(result.to_json())
             os.replace(tmp, path)  # atomic: concurrent writers both win
         except BaseException:
             os.unlink(tmp)
@@ -246,7 +248,8 @@ def clear(disk: bool = True) -> None:
         return
     for shard in objects.iterdir():
         if shard.is_dir():
-            for entry in shard.glob("*.pkl"):
+            # *.pkl covers entries left behind by the pre-JSON disk format
+            for entry in list(shard.glob("*.json")) + list(shard.glob("*.pkl")):
                 try:
                     entry.unlink()
                 except OSError:
@@ -278,7 +281,7 @@ def simulate_cached(
     run that does not need a live :class:`Simulation` object (timelines,
     device introspection).
     """
-    from .simulation import simulate  # local import avoids a cycle
+    from .simulation import Simulation  # local import avoids a cycle
 
     if config is None:
         from ..config import default_config
@@ -287,6 +290,6 @@ def simulate_cached(
     fingerprint = run_fingerprint(graph, policy, config, steps)
     result = get(fingerprint)
     if result is None:
-        result = simulate(graph, policy, config=config, steps=steps)
+        result = Simulation(graph, policy, config=config, steps=steps).run()
         put(fingerprint, result)
     return result

@@ -35,6 +35,9 @@ class SlotDevice:
         self._busy = 0
         self._busy_integral = 0.0
         self._last_time = 0.0
+        self._acquisitions = 0
+        #: Seconds spent with exactly ``i`` slots busy (time-weighted).
+        self._level_seconds = [0.0] * (slots + 1)
 
     @property
     def free_slots(self) -> int:
@@ -42,7 +45,10 @@ class SlotDevice:
 
     def _integrate(self) -> None:
         now = self.engine.now
-        self._busy_integral += self._busy * (now - self._last_time)
+        elapsed = now - self._last_time
+        if elapsed > 0:
+            self._busy_integral += self._busy * elapsed
+            self._level_seconds[self._busy] += elapsed
         self._last_time = now
 
     def try_acquire(self, n: int = 1) -> bool:
@@ -53,6 +59,7 @@ class SlotDevice:
             return False
         self._integrate()
         self._busy += n
+        self._acquisitions += 1
         return True
 
     def release(self, n: int = 1) -> None:
@@ -67,6 +74,25 @@ class SlotDevice:
         """Cumulative busy slot-seconds so far."""
         self._integrate()
         return self._busy_integral
+
+    def busy_fraction(self, makespan_s: float) -> float:
+        """Fraction of capacity-time (slots x makespan) spent busy."""
+        if makespan_s <= 0:
+            return 0.0
+        return self.busy_seconds() / (self.slots * makespan_s)
+
+    def level_seconds(self):
+        """Seconds spent at each busy-slot level (index = busy slots)."""
+        self._integrate()
+        return tuple(self._level_seconds)
+
+    def publish_metrics(self, registry) -> None:
+        """Publish busy accounting into an observability registry."""
+        prefix = f"device.{self.name}"
+        registry.gauge(f"{prefix}.slots").set(self.slots)
+        registry.gauge(f"{prefix}.acquisitions").set(self._acquisitions)
+        registry.gauge(f"{prefix}.busy_slot_s").set(self.busy_seconds())
+        registry.gauge(f"{prefix}.level_s").set(self.level_seconds())
 
 
 @dataclass(slots=True)
@@ -117,6 +143,7 @@ class FixedPoolExecutor:
         self.on_units_freed = on_units_freed or (lambda: None)
         self._jobs: Dict[str, _MacJob] = {}
         self._arrivals = 0
+        self._expansions = 0
         self._token_holder: Optional[str] = None
         # duty-window integration (Figure 15 utilization denominator)
         self._window_count = 0
@@ -259,6 +286,7 @@ class FixedPoolExecutor:
             )
             if new_units != job.units:
                 job.units = new_units
+                self._expansions += 1
                 self._schedule_completion(job)
 
     @property
@@ -274,3 +302,16 @@ class FixedPoolExecutor:
         if window <= 0:
             return 0.0
         return self.busy_unit_seconds() / (self.pool.n_units * window)
+
+    def occupancy_histogram_s(self):
+        """Pool time-at-occupancy histogram (see ``FixedPIMPool``)."""
+        return self.pool.occupancy_histogram_s(self.engine.now)
+
+    def publish_metrics(self, registry) -> None:
+        """Publish pool executor accounting into an observability registry."""
+        registry.gauge("fixed.units").set(self.pool.n_units)
+        registry.gauge("fixed.subkernels").set(self._arrivals)
+        registry.gauge("fixed.expansions").set(self._expansions)
+        registry.gauge("fixed.busy_unit_s").set(self.busy_unit_seconds())
+        registry.gauge("fixed.window_s").set(self.active_window_seconds())
+        registry.gauge("fixed.occupancy_s").set(self.occupancy_histogram_s())

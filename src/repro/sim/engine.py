@@ -48,13 +48,14 @@ class EventHandle:
 class Engine:
     """Deterministic discrete-event engine."""
 
-    __slots__ = ("now", "_heap", "_seq", "_events_processed")
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_peak_pending")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: List[list] = []
         self._seq = 0
         self._events_processed = 0
+        self._peak_pending = 0
 
     def at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute ``time``."""
@@ -67,6 +68,8 @@ class Engine:
         entry = [time, self._seq, callback]
         self._seq += 1
         heapq.heappush(self._heap, entry)
+        if len(self._heap) > self._peak_pending:
+            self._peak_pending = len(self._heap)
         return EventHandle(entry)
 
     def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
@@ -105,3 +108,14 @@ class Engine:
     @property
     def events_processed(self) -> int:
         return self._events_processed
+
+    @property
+    def peak_pending_events(self) -> int:
+        """High-water mark of the event heap (cancelled entries included)."""
+        return self._peak_pending
+
+    def publish_metrics(self, registry) -> None:
+        """Publish engine health into an observability registry."""
+        registry.gauge("engine.events_processed").set(self._events_processed)
+        registry.gauge("engine.peak_pending_events").set(self._peak_pending)
+        registry.gauge("engine.now_s").set(self.now)

@@ -64,6 +64,17 @@ class SchedulingPolicy(abc.ABC):
         resources (paper section VI-F)."""
         return 0
 
+    def decision_log(self):
+        """Serializable log of this policy's scheduling decisions, if any.
+
+        Profile-driven policies (:class:`repro.runtime.HeteroPimPolicy`)
+        return their offload-selection record; static policies return None.
+        """
+        return None
+
+    def publish_metrics(self, registry) -> None:
+        """Publish policy-level observability (no-op for static policies)."""
+
     def signature(self) -> Tuple:
         """Behavioral identity of this policy, for result-cache keying.
 

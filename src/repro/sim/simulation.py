@@ -20,6 +20,7 @@ from ..hardware.fixed_pim import FixedPIMPool
 from ..hardware.gpu import GpuModel
 from ..hardware.power import DeviceUsage, EnergyModel
 from ..nn.graph import Graph
+from ..obs.metrics import MetricsRegistry
 from ..pimcl.kernel import BinaryKind, PhaseKind
 from .activity import COMPUTE, DATA_MOVEMENT, SYNC, ActivityTracker
 from .devices import FixedPoolExecutor, SlotDevice
@@ -45,6 +46,8 @@ class _Task:
     #: Placement chosen at start time (for timeline recording).
     device: Optional[str] = None
     start_s: float = 0.0
+    #: When the task's last dependence resolved (queue-wait baseline).
+    ready_s: float = 0.0
     #: Scheduling order (priority, step, topo index) — a unique total order,
     #: precomputed because the drain loop sorts the ready list every round.
     sort_key: Tuple[int, int, int] = (0, 0, 0)
@@ -63,9 +66,15 @@ class Simulation:
         config: Optional[SystemConfig] = None,
         steps: Optional[int] = None,
         record_timeline: bool = False,
+        observe: Optional[MetricsRegistry] = None,
     ):
         self.graph = graph
         self.timeline: Optional[Timeline] = Timeline() if record_timeline else None
+        #: Observability registry the run publishes into at collection
+        #: time.  The simulator's own accounting is always on (cached
+        #: results must not depend on observer settings); a caller-supplied
+        #: registry just receives the same snapshot.
+        self.obs = observe if observe is not None else MetricsRegistry()
         self.policy = policy
         self.config = config if config is not None else default_config()
         self.steps = steps if steps is not None else self.config.runtime.measured_steps
@@ -125,6 +134,9 @@ class Simulation:
             "prog": [],
         }
         self._drain_scheduled = False
+        self._drain_rounds = 0
+        self._tasks_started: Dict[str, int] = {}
+        self._queue_wait: Dict[str, float] = {}
         self._build_tasks()
 
     # ------------------------------------------------------------------
@@ -217,6 +229,7 @@ class Simulation:
 
     def _drain(self) -> None:
         self._drain_scheduled = False
+        self._drain_rounds += 1
         # retry mid-kernel sub-kernel submissions first (they hold devices)
         if self._fixed_waiters:
             waiters, self._fixed_waiters = self._fixed_waiters, []
@@ -257,6 +270,7 @@ class Simulation:
                     step=task.step,
                     start_s=task.start_s,
                     end_s=now,
+                    ready_s=task.ready_s,
                 )
             )
         remaining = self._step_remaining[task.step] - 1
@@ -278,6 +292,7 @@ class Simulation:
             dependent = tasks[dep_uid]
             dependent.indeg -= 1
             if dependent.indeg == 0:
+                dependent.ready_s = now
                 ready.append(dependent)
         self._schedule_drain()
 
@@ -405,7 +420,12 @@ class Simulation:
 
     def _mark_started(self, task: _Task, device: str) -> None:
         task.device = device
-        task.start_s = self.engine.now
+        now = self.engine.now
+        task.start_s = now
+        self._tasks_started[device] = self._tasks_started.get(device, 0) + 1
+        wait = now - task.ready_s
+        if wait > 0:
+            self._queue_wait[device] = self._queue_wait.get(device, 0.0) + wait
 
     # ------------------------------------------------------------------
     # executor-slot waiting (complex phases acquire slots mid-kernel)
@@ -717,6 +737,11 @@ class Simulation:
         energy = energy_model.energy(usage, makespan)
         step_time = self._steady_step_time()
         per_model = self._per_model_step_times()
+        busy_fraction = self._device_busy_fractions(makespan)
+        occupancy = self.fixed.occupancy_histogram_s()
+        selection = self.policy.decision_log()
+        metrics = self._metrics_snapshot()
+        self.publish_metrics(self.obs)
         return RunResult(
             config_name=self.policy.name,
             model_name=self.graph.name,
@@ -729,7 +754,61 @@ class Simulation:
             fixed_pim_utilization=self.fixed.utilization(),
             events_processed=self.engine.events_processed,
             per_model_step_time_s=per_model,
+            device_busy_fraction=busy_fraction,
+            bank_occupancy_hist_s=occupancy,
+            queue_wait_s=dict(sorted(self._queue_wait.items())),
+            selection=selection,
+            metrics=metrics,
         )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _device_busy_fractions(self, makespan: float) -> Dict[str, float]:
+        """Busy fraction of each device lane over the whole run.
+
+        The GPU lane is reported only when the configuration uses it (the
+        Chrome-trace exporter and the report schema mirror this, so
+        GPU-less configs have no phantom lane).
+        """
+        fractions = {
+            "cpu": self.cpu.busy_fraction(makespan),
+            "prog": self.prog.busy_fraction(makespan),
+            "fixed": (
+                self.fixed.busy_unit_seconds()
+                / (self.fixed.pool.n_units * makespan)
+                if makespan > 0
+                else 0.0
+            ),
+        }
+        if self.policy.uses_gpu:
+            fractions["gpu"] = self.gpu.busy_fraction(makespan)
+        return dict(sorted(fractions.items()))
+
+    def _metrics_snapshot(self) -> Dict[str, float]:
+        """Flat, deterministic metric snapshot stored on the result."""
+        registry = MetricsRegistry()
+        self.publish_metrics(registry)
+        return registry.snapshot(self.engine.now)
+
+    def publish_metrics(self, registry: MetricsRegistry) -> None:
+        """Publish every component's instruments into ``registry``."""
+        self.engine.publish_metrics(registry)
+        self.cpu.publish_metrics(registry)
+        self.prog.publish_metrics(registry)
+        if self.policy.uses_gpu:
+            self.gpu.publish_metrics(registry)
+        self.fixed.publish_metrics(registry)
+        self.policy.publish_metrics(registry)
+        registry.gauge("sched.drain_rounds").set(self._drain_rounds)
+        for device in sorted(self._tasks_started):
+            registry.gauge(f"sched.started.{device}").set(
+                self._tasks_started[device]
+            )
+        for device in sorted(self._queue_wait):
+            registry.gauge(f"sched.queue_wait_s.{device}").set(
+                self._queue_wait[device]
+            )
 
     def _steady_step_time(self) -> float:
         ends = [self._step_end[s] for s in sorted(self._step_end)]
@@ -762,5 +841,20 @@ def simulate(
     config: Optional[SystemConfig] = None,
     steps: Optional[int] = None,
 ) -> RunResult:
-    """Convenience wrapper: build and run one simulation."""
+    """Deprecated convenience wrapper: build and run one simulation.
+
+    Prefer :func:`repro.api.simulate` (model-level facade, returns a
+    :class:`~repro.obs.report.RunReport`) or
+    :func:`repro.sim.cache.simulate_cached` (graph-level, content-addressed
+    cache).  Kept for backward compatibility.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.sim.simulation.simulate is deprecated; use "
+        "repro.api.simulate (model-level) or "
+        "repro.sim.cache.simulate_cached (graph-level) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return Simulation(graph, policy, config=config, steps=steps).run()

@@ -27,6 +27,9 @@ class TimelineEntry:
     step: int
     start_s: float
     end_s: float
+    #: When the task became ready (all dependences satisfied); the gap to
+    #: ``start_s`` is the time it queued for a device.
+    ready_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.end_s < self.start_s:
@@ -37,6 +40,11 @@ class TimelineEntry:
     @property
     def duration_s(self) -> float:
         return self.end_s - self.start_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Ready-to-start delay (0 when readiness was not recorded)."""
+        return max(0.0, self.start_s - self.ready_s)
 
 
 @dataclass

@@ -48,6 +48,29 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "lenet"])
 
+    def test_zero_steps_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "dcgan", "--steps", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_negative_steps_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "dcgan", "--steps", "-3"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_run_trace_out(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(["run", "dcgan", "--steps", "1",
+                     "--trace-out", str(out_file)]) == 0
+        assert "trace" in capsys.readouterr().out
+        from repro.obs import validate_chrome_trace
+
+        assert validate_chrome_trace(out_file)
+
+    def test_run_reports_device_busy(self, capsys):
+        assert main(["run", "dcgan", "--steps", "1"]) == 0
+        assert "device busy" in capsys.readouterr().out
+
 
 class TestProfile:
     def test_profile(self, capsys):
@@ -62,6 +85,26 @@ class TestTrace:
         assert main(["trace", "dcgan", str(out_file), "--steps", "1"]) == 0
         assert out_file.exists()
         assert "task records" in capsys.readouterr().out
+
+    def test_trace_steps_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "dcgan", "t.json", "--steps", "-1"])
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_trace_chrome_format(self, tmp_path, capsys):
+        out_file = tmp_path / "chrome.json"
+        assert main(["trace", "dcgan", str(out_file), "--steps", "1",
+                     "--format", "chrome", "--config", "cpu"]) == 0
+        assert "trace events" in capsys.readouterr().out
+        from repro.obs import validate_chrome_trace
+
+        events = validate_chrome_trace(out_file)
+        lanes = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "cpu" in lanes and "gpu" not in lanes
 
 
 class TestExperiment:

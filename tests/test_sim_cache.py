@@ -141,7 +141,7 @@ class TestCacheTiers:
         simulate_cached(graph, policy, config)
         fp = run_fingerprint(graph, policy, config)
         path = sim_cache._object_path(fp)
-        path.write_bytes(b"not a pickle")
+        path.write_bytes(b"not valid json")
         sim_cache._memory.clear()
         assert sim_cache.get(fp) is None
 
@@ -149,10 +149,10 @@ class TestCacheTiers:
         result = run_model_on(MODEL, "hetero-pim")
         assert result is run_model_on(MODEL, "hetero-pim")  # memory tier
         objects = sim_cache.cache_dir() / "objects"
-        assert any(objects.rglob("*.pkl"))
+        assert any(objects.rglob("*.json"))
         clear_caches()
         assert not sim_cache._memory
-        assert not any(objects.rglob("*.pkl"))
+        assert not any(objects.rglob("*.json"))
         assert run_model_on(MODEL, "hetero-pim") == result  # re-simulated
 
     def test_modified_base_config_cached_without_collision(self):
