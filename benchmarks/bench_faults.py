@@ -1,0 +1,11 @@
+"""Benchmark E-FAULTS — regenerates the fault-resilience sweep."""
+
+from repro.experiments import faults
+
+from conftest import emit
+
+
+def test_faults(benchmark):
+    """One full regeneration of the fault-resilience artifact."""
+    result = benchmark.pedantic(faults.run, rounds=1, iterations=1)
+    emit("faults", faults.format_result(result))

@@ -89,6 +89,7 @@ def simulate(
     frequency_scale: float = 1.0,
     base: Optional[SystemConfig] = None,
     observe=None,
+    faults=None,
 ) -> RunReport:
     """Simulate one training run of ``model`` on configuration ``config``.
 
@@ -113,6 +114,12 @@ def simulate(
         ``True`` or a :class:`~repro.obs.metrics.MetricsRegistry` — run
         live with timeline recording (enables ``report.save_trace``); a
         supplied registry additionally receives the run's metrics.
+    faults:
+        Optional :class:`~repro.faults.FaultSpec`.  The run injects the
+        spec's fault events and reacts (retries, offload re-selection,
+        graceful degradation) so every training step still completes; the
+        fault/recovery log lands on ``report.faults``.  The spec is part
+        of the cache fingerprint.
     """
     if steps < 1:
         raise ValueError(f"steps must be >= 1, got {steps}")
@@ -133,15 +140,19 @@ def simulate(
             steps=steps,
             record_timeline=True,
             observe=registry,
+            faults=faults,
         )
         result = sim.run()
         # warm the cache: observed runs produce the same result record
         sim_cache.put(
-            sim_cache.run_fingerprint(graph, policy, system, steps), result
+            sim_cache.run_fingerprint(graph, policy, system, steps, faults=faults),
+            result,
         )
         timeline = sim.timeline
     else:
-        result = sim_cache.simulate_cached(graph, policy, system, steps=steps)
+        result = sim_cache.simulate_cached(
+            graph, policy, system, steps=steps, faults=faults
+        )
         timeline = None
     after = sim_cache.stats()
     delta = {k: after[k] - before.get(k, 0) for k in after}

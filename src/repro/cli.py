@@ -9,6 +9,8 @@ Commands:
 * ``experiment`` — regenerate one paper table/figure by id;
 * ``trace`` — export a model trace to JSON (``--format ops`` for the raw
   operation trace, ``--format chrome`` for a Chrome Trace Event schedule);
+* ``faults`` — inject a (seeded or file-supplied) fault spec into a run
+  and report the resilience overhead against the fault-free baseline;
 * ``models`` / ``configs`` — list available workloads and configurations.
 """
 
@@ -27,7 +29,7 @@ from .sim.trace_io import export_trace
 EXPERIMENT_IDS = (
     "table1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12",
     "fig13", "fig14", "fig15", "fig16", "fig17", "ablations", "extensions",
-    "summary",
+    "faults", "summary",
 )
 
 
@@ -89,6 +91,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--config", default="hetero-pim",
         choices=list(CONFIGURATION_ORDER) + ["neurocube"],
         help="configuration to simulate (chrome format only)",
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="inject faults into a run and report the resilience overhead",
+    )
+    faults.add_argument("model", choices=available_models())
+    faults.add_argument(
+        "--config", default="hetero-pim",
+        choices=list(CONFIGURATION_ORDER) + ["neurocube"],
+    )
+    faults.add_argument("--steps", type=_positive_int, default=3)
+    faults.add_argument(
+        "--seed", type=int, default=1,
+        help="fault-generation seed (ignored with --spec)",
+    )
+    faults.add_argument(
+        "--events", type=int, default=2,
+        help="number of faults to generate (ignored with --spec)",
+    )
+    faults.add_argument(
+        "--spec", metavar="PATH", default=None,
+        help="JSON FaultSpec to inject instead of generating one",
+    )
+    faults.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the faulted run's schedule + fault lane as Chrome "
+             "Trace Event JSON",
     )
 
     sub.add_parser("models", help="list available training workloads")
@@ -164,6 +194,53 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .faults import FaultSpec
+    from .hardware.hmc import StackGeometry
+
+    baseline = api.simulate(args.model, args.config, args.steps)
+    if args.spec is not None:
+        spec = FaultSpec.from_json(Path(args.spec).read_text())
+    else:
+        system, _policy = api.resolve_configuration(args.config)
+        spec = FaultSpec.generate(
+            seed=args.seed,
+            horizon_s=baseline.makespan_s,
+            n_events=args.events,
+            banks=len(StackGeometry(system.stack).banks),
+            pool_units=system.fixed_pim.n_units,
+            prog_pims=system.prog_pim.n_pims,
+        )
+    faulted = api.simulate(
+        args.model,
+        args.config,
+        args.steps,
+        faults=spec,
+        observe=bool(args.trace_out),
+    )
+    counts = faulted.fault_counts
+    base_t, fault_t = baseline.step_time_s, faulted.step_time_s
+    base_e = baseline.step_dynamic_energy_j
+    fault_e = faulted.step_dynamic_energy_j
+    print(f"{args.model} on {faulted.config_name} "
+          f"({faulted.steps} steps, {len(spec.events)} injected faults)")
+    print(f"  step time   {base_t * 1e3:10.3f} ms -> {fault_t * 1e3:10.3f} ms "
+          f"({(fault_t / base_t - 1):+8.1%})")
+    print(f"  energy/step {base_e:10.3f} J  -> {fault_e:10.3f} J  "
+          f"({(fault_e / base_e - 1):+8.1%})")
+    print(f"  recovery    {counts['retries']} retries, "
+          f"{counts['degradations']} degradations, "
+          f"{counts['reselections']} offload re-selections")
+    for event in spec.events:
+        print(f"    t={event.time_s * 1e3:9.3f} ms  {event!r}")
+    if args.trace_out:
+        n = faulted.save_trace(args.trace_out)
+        print(f"  trace       {n} events -> {args.trace_out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.jobs is not None:
@@ -178,6 +255,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     if args.command == "models":
         print("\n".join(available_models()))
         return 0

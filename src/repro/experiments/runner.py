@@ -33,8 +33,19 @@ from ..sim import cache as sim_cache
 from ..sim.policy import SchedulingPolicy
 from ..sim.results import RunResult
 
-#: One simulation job: (graph, policy, config, steps).
+#: One simulation job: (graph, policy, config, steps) — optionally with a
+#: fifth element, a :class:`~repro.faults.FaultSpec` (or None).
 Job = Tuple[Graph, SchedulingPolicy, SystemConfig, Optional[int]]
+
+
+def _normalize(job: Job):
+    """Pad a 4-tuple job to the 5-slot (graph, policy, config, steps,
+    faults) form; fault specs are frozen dataclasses, hence picklable."""
+    if len(job) == 4:
+        return (*job, None)
+    if len(job) == 5:
+        return tuple(job)
+    raise ValueError(f"job must have 4 or 5 elements, got {len(job)}")
 
 _jobs_override: Optional[int] = None
 
@@ -62,8 +73,10 @@ def get_jobs() -> int:
 
 def _worker(job: Job) -> RunResult:
     """Run one job in a pool worker (module-level: must be picklable)."""
-    graph, policy, config, steps = job
-    return sim_cache.simulate_cached(graph, policy, config, steps=steps)
+    graph, policy, config, steps, faults = _normalize(job)
+    return sim_cache.simulate_cached(
+        graph, policy, config, steps=steps, faults=faults
+    )
 
 
 def run_jobs(jobs: Sequence[Job]) -> List[RunResult]:
@@ -78,7 +91,10 @@ def run_jobs(jobs: Sequence[Job]) -> List[RunResult]:
     if n_workers <= 1:
         return [_worker(job) for job in jobs]
     # Skip jobs already cached — no point shipping them to a worker.
-    prints = [sim_cache.run_fingerprint(g, p, c, s) for g, p, c, s in jobs]
+    prints = [
+        sim_cache.run_fingerprint(g, p, c, s, faults=f)
+        for g, p, c, s, f in map(_normalize, jobs)
+    ]
     pending = [
         i for i, fp in enumerate(prints) if sim_cache.get(fp) is None
     ]

@@ -1,0 +1,38 @@
+"""Seeded, deterministic fault injection and graceful degradation.
+
+Public surface:
+
+* :class:`FaultSpec` plus the five fault-event dataclasses — declarative,
+  serializable fault descriptions (see :mod:`repro.faults.spec`);
+* :class:`repro.faults.injector.FaultInjector` — applies a spec to a live
+  simulation (imported lazily by :class:`repro.sim.simulation.Simulation`;
+  not re-exported here to keep this package import-light).
+
+Entry points: ``repro.api.simulate(model, config, steps, faults=spec)``,
+the ``repro faults`` CLI subcommand, and the resilience experiment
+(:mod:`repro.experiments.faults`).
+"""
+
+from .spec import (
+    FAULT_KINDS,
+    THERMAL_ZONES,
+    BankFailure,
+    DramDerate,
+    FaultEvent,
+    FaultSpec,
+    ProgPimLoss,
+    ThermalThrottle,
+    UnitLoss,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "THERMAL_ZONES",
+    "BankFailure",
+    "DramDerate",
+    "FaultEvent",
+    "FaultSpec",
+    "ProgPimLoss",
+    "ThermalThrottle",
+    "UnitLoss",
+]

@@ -1,0 +1,233 @@
+"""Runtime fault injection against a live :class:`~repro.sim.simulation.Simulation`.
+
+The :class:`FaultInjector` schedules every event of a
+:class:`~repro.faults.spec.FaultSpec` on the simulation's event engine and
+applies it to the hardware models:
+
+* bank failures and unit losses shrink the fixed-function pool (revoking
+  in-flight sub-kernels, which the scheduler then retries or degrades);
+* thermal throttles derate the pool's effective frequency, weighted by
+  how many units the thermal-aware placement put into the affected zone;
+* programmable-PIM losses shrink the prog cluster (waiting complex phases
+  fall back to the CPU);
+* DRAM derates scale the in-stack bandwidth seen by streaming phases.
+
+It also owns the run's fault/recovery log (injected events, retries,
+degradations, offload re-selections), which lands on the result record
+(``RunResult.faults``) and in the Chrome trace's fault lane — and the
+idle/busy register file the scheduler consults while faults are active.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hardware.hmc import StackGeometry
+from ..hardware.placement import Placement, place_fixed_pims
+from ..runtime.registers import UtilizationRegisters
+from .spec import (
+    BankFailure,
+    DramDerate,
+    FaultSpec,
+    ProgPimLoss,
+    ThermalThrottle,
+    UnitLoss,
+)
+
+
+class _ProgClusterView:
+    """Adapts the simulator's prog :class:`SlotDevice` to the duck type
+    :class:`UtilizationRegisters` expects (``ProgPIMCluster``-shaped)."""
+
+    def __init__(self, device):
+        self._device = device
+
+    @property
+    def n_pims(self) -> int:
+        return self._device.slots
+
+    @property
+    def busy_pims(self) -> int:
+        busy = self._device.busy_slots + self._device.lost_slots
+        return min(self._device.slots, busy)
+
+    @property
+    def free_pims(self) -> int:
+        return self._device.free_slots
+
+
+class FaultInjector:
+    """Applies one :class:`FaultSpec` to one simulation, deterministically."""
+
+    def __init__(self, spec: FaultSpec, sim):
+        self.spec = spec
+        self.sim = sim
+        self.events_log: List[Dict[str, object]] = []
+        self.retries: List[Dict[str, object]] = []
+        self.degradations: List[Dict[str, object]] = []
+        self.reselections: List[Dict[str, object]] = []
+        self._failed_banks: set = set()
+        self._throttles: Dict[int, float] = {}
+        self._derates: Dict[int, float] = {}
+        geometry = StackGeometry(sim.config.stack)
+        self.geometry = geometry
+        self.placement: Placement = place_fixed_pims(
+            geometry, sim.config.fixed_pim.n_units
+        )
+        self.registers = UtilizationRegisters(
+            sim.fixed.pool, _ProgClusterView(sim.prog), self.placement
+        )
+        for index, event in enumerate(spec.events):
+            sim.engine.at(
+                event.time_s,
+                lambda i=index, e=event: self._apply(i, e),
+            )
+
+    # ------------------------------------------------------------------
+    # event application
+    # ------------------------------------------------------------------
+    def _apply(self, index: int, event) -> None:
+        now = self.sim.engine.now
+        if isinstance(event, BankFailure):
+            self._apply_bank_failure(index, event, now)
+        elif isinstance(event, UnitLoss):
+            self._log_event(index, event, now, self._lose_fixed_units(event.units))
+        elif isinstance(event, ThermalThrottle):
+            self._apply_thermal(index, event, now)
+        elif isinstance(event, ProgPimLoss):
+            lost = self.sim._on_prog_lost(event.pims)
+            self._log_event(index, event, now, {"pims_lost": lost})
+        elif isinstance(event, DramDerate):
+            self._apply_dram(index, event, now)
+        else:  # pragma: no cover - spec validation rejects unknown kinds
+            raise AssertionError(f"unhandled fault event {event!r}")
+
+    def _log_event(self, index: int, event, now: float, applied: Dict) -> None:
+        entry: Dict[str, object] = {
+            "index": index,
+            "t_s": now,
+            "kind": event.kind,
+            "applied": applied,
+        }
+        self.events_log.append(entry)
+
+    def _apply_bank_failure(self, index: int, event: BankFailure, now: float) -> None:
+        bank = event.bank % len(self.placement.units_per_bank)
+        if bank in self._failed_banks:
+            self._log_event(
+                index, event, now, {"bank": bank, "units_lost": 0, "revoked": []}
+            )
+            return
+        self._failed_banks.add(bank)
+        self.registers.mark_bank_failed(bank)
+        units = self.placement.units_in(bank)
+        applied = {"bank": bank}
+        if units > 0:
+            applied.update(self._lose_fixed_units(units))
+        else:
+            applied.update({"units_lost": 0, "revoked": []})
+        self._log_event(index, event, now, applied)
+
+    def _lose_fixed_units(self, units: int) -> Dict[str, object]:
+        """Shrink the pool; the simulation retries/degrades revoked work."""
+        before = self.sim.fixed.pool.capacity_units
+        revoked = self.sim.fixed.lose_units(units)
+        lost = before - self.sim.fixed.pool.capacity_units
+        self.sim._recompute_placements()
+        self.sim._schedule_drain()
+        return {"units_lost": lost, "revoked": sorted(revoked)}
+
+    def _apply_thermal(self, index: int, event: ThermalThrottle, now: float) -> None:
+        zone_units = sum(
+            self.placement.units_in(bank.index)
+            for bank in self.geometry.banks
+            if bank.zone.value == event.zone
+        )
+        share = zone_units / self.sim.fixed.pool.n_units
+        effective = 1.0 - (1.0 - event.factor) * share
+        self._throttles[index] = effective
+        self._update_pool_speed()
+        self._log_event(
+            index,
+            event,
+            now,
+            {"zone_units": zone_units, "effective_factor": effective},
+        )
+        self.sim.engine.at(
+            event.time_s + event.duration_s,
+            lambda: self._restore_thermal(index, event),
+        )
+
+    def _restore_thermal(self, index: int, event: ThermalThrottle) -> None:
+        self._throttles.pop(index, None)
+        self._update_pool_speed()
+        self._log_event(
+            index, event, self.sim.engine.now, {"restored": True}
+        )
+
+    def _update_pool_speed(self) -> None:
+        speed = 1.0
+        for factor in self._throttles.values():
+            speed *= factor
+        self.sim.fixed.set_speed(speed)
+
+    def _apply_dram(self, index: int, event: DramDerate, now: float) -> None:
+        self._derates[index] = event.factor
+        self._update_dram_scale()
+        self._log_event(index, event, now, {"factor": event.factor})
+        self.sim.engine.at(
+            event.time_s + event.duration_s,
+            lambda: self._restore_dram(index, event),
+        )
+
+    def _restore_dram(self, index: int, event: DramDerate) -> None:
+        self._derates.pop(index, None)
+        self._update_dram_scale()
+        self._log_event(
+            index, event, self.sim.engine.now, {"restored": True}
+        )
+
+    def _update_dram_scale(self) -> None:
+        scale = 1.0
+        for factor in self._derates.values():
+            scale *= factor
+        self.sim._set_dram_scale(scale)
+
+    # ------------------------------------------------------------------
+    # recovery log (fed by the scheduler)
+    # ------------------------------------------------------------------
+    def log_retry(self, now: float, uid: str, attempt: int, delay_s: float) -> None:
+        self.retries.append(
+            {"t_s": now, "uid": uid, "attempt": attempt, "delay_s": delay_s}
+        )
+
+    def log_degradation(self, now: float, uid: str, frm: str, to: str) -> None:
+        self.degradations.append({"t_s": now, "uid": uid, "from": frm, "to": to})
+
+    def log_reselection(self, now: float, retargeted: int) -> None:
+        self.reselections.append({"t_s": now, "retargeted": retargeted})
+
+    # ------------------------------------------------------------------
+    # result payload
+    # ------------------------------------------------------------------
+    def to_result_dict(self) -> Dict[str, object]:
+        """JSON-ready fault/recovery log stored on :class:`RunResult`."""
+        return {
+            "spec": self.spec.to_dict(),
+            "events": list(self.events_log),
+            "retries": list(self.retries),
+            "degradations": list(self.degradations),
+            "reselections": list(self.reselections),
+            "counts": {
+                "events": len(self.events_log),
+                "retries": len(self.retries),
+                "degradations": len(self.degradations),
+                "reselections": len(self.reselections),
+            },
+        }
+
+    def publish_metrics(self, registry) -> None:
+        registry.gauge("faults.events").set(len(self.events_log))
+        registry.gauge("faults.retries").set(len(self.retries))
+        registry.gauge("faults.degradations").set(len(self.degradations))
+        registry.gauge("faults.reselections").set(len(self.reselections))

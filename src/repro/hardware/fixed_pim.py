@@ -30,6 +30,7 @@ class FixedPIMPool:
 
     n_units: int
     _allocations: Dict[str, int] = field(default_factory=dict)
+    _lost_units: int = 0
     _last_time: float = 0.0
     _busy_unit_seconds: float = 0.0
     _occupancy_s: List[float] = field(
@@ -48,8 +49,18 @@ class FixedPIMPool:
         return sum(self._allocations.values())
 
     @property
+    def lost_units(self) -> int:
+        """Units permanently removed by injected faults (see :meth:`shrink`)."""
+        return self._lost_units
+
+    @property
+    def capacity_units(self) -> int:
+        """Schedulable units: nominal count minus fault losses."""
+        return self.n_units - self._lost_units
+
+    @property
     def free_units(self) -> int:
-        return self.n_units - self.busy_units
+        return self.capacity_units - self.busy_units
 
     def holding(self, kernel_id: str) -> int:
         """Units currently held by ``kernel_id`` (0 if none)."""
@@ -88,6 +99,26 @@ class FixedPIMPool:
             raise SchedulingError(f"kernel {kernel_id!r} holds no units")
         self._integrate(now)  # account busy time before dropping the units
         return self._allocations.pop(kernel_id)
+
+    def shrink(self, units: int, now: float) -> List[str]:
+        """Permanently remove up to ``units`` units (fault injection).
+
+        The loss is clamped to the remaining capacity.  If the surviving
+        capacity no longer covers the current allocations, whole kernels
+        are revoked newest-first until it does; their ids are returned so
+        the executor can abort (and the scheduler retry) them.
+        """
+        loss = min(units, self.capacity_units)
+        if loss <= 0:
+            return []
+        self._integrate(now)
+        self._lost_units += loss
+        revoked: List[str] = []
+        while self.busy_units > self.capacity_units:
+            kernel_id = next(reversed(self._allocations))
+            self._allocations.pop(kernel_id)
+            revoked.append(kernel_id)
+        return revoked
 
     # ------------------------------------------------------------------
     # utilization accounting

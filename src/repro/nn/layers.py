@@ -26,7 +26,6 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..errors import GraphError, ShapeError
 from .graph import Graph
 from .ops import (
-    OffloadClass,
     Op,
     OpCost,
     adam_cost,
@@ -34,7 +33,6 @@ from .ops import (
     data_movement_cost,
     elementwise_cost,
     matmul_cost,
-    op_type_info,
     pool_cost,
     reduction_cost,
 )

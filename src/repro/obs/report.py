@@ -25,7 +25,8 @@ from ..sim.timeline import Timeline
 
 #: Version tag of the report envelope (the nested run result carries its
 #: own ``schema`` field; the two evolve independently).
-REPORT_SCHEMA_VERSION = 1
+#: v2: added ``fault_counts`` (retry/degradation/re-selection totals).
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -93,6 +94,23 @@ class RunReport:
         return dict(self.result.metrics or {})
 
     @property
+    def faults(self) -> Optional[Dict]:
+        """Fault/recovery log of a fault-injected run (None otherwise)."""
+        return self.result.faults
+
+    @property
+    def fault_counts(self) -> Dict[str, int]:
+        """Retry/degradation/re-selection totals (zeros when fault-free)."""
+        if self.result.faults is None:
+            return {
+                "events": 0,
+                "retries": 0,
+                "degradations": 0,
+                "reselections": 0,
+            }
+        return dict(self.result.faults["counts"])
+
+    @property
     def has_timeline(self) -> bool:
         return self.timeline is not None and bool(self.timeline.entries)
 
@@ -115,6 +133,7 @@ class RunReport:
             "bank_occupancy_hist_s": list(self.bank_occupancy_hist_s),
             "queue_wait_s": self.queue_wait_s,
             "selection": self.selection,
+            "fault_counts": self.fault_counts,
             "cache_stats": (
                 dict(sorted(self.cache_stats.items()))
                 if self.cache_stats is not None
@@ -158,6 +177,7 @@ class RunReport:
             selection=self.selection,
             cache_stats=self.cache_stats,
             process_name=f"{self.model_name} on {self.config_name}",
+            faults=self.result.faults,
         )
 
     def save_trace(self, path: Union[str, Path]) -> int:

@@ -35,6 +35,9 @@ _PID = 1
 #: tid offset of the per-device queue-wait lanes.
 _QUEUE_TID_OFFSET = 100
 
+#: tid of the fault-injection lane (fault events, retries, degradations).
+_FAULT_TID = 90
+
 
 def build_trace_events(
     timeline: Union[Timeline, Iterable[TimelineEntry]],
@@ -42,8 +45,14 @@ def build_trace_events(
     selection: Optional[Dict] = None,
     cache_stats: Optional[Dict[str, int]] = None,
     process_name: str = "repro simulator",
+    faults: Optional[Dict] = None,
 ) -> List[Dict]:
-    """Convert timeline entries (+ annotations) into Trace Event dicts."""
+    """Convert timeline entries (+ annotations) into Trace Event dicts.
+
+    ``faults`` is a ``RunResult.faults`` fault/recovery log; when present
+    its injected events, retries, degradations and re-selections render as
+    instant events on a dedicated "faults" lane.
+    """
     entries = (
         list(timeline.entries) if isinstance(timeline, Timeline) else list(timeline)
     )
@@ -167,6 +176,72 @@ def build_trace_events(
                     "ts": 0.0,
                     "args": dict(decision),
                 }
+            )
+
+    if faults:
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": _FAULT_TID,
+                "args": {"name": "faults"},
+            }
+        )
+        meta.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": _PID,
+                "tid": _FAULT_TID,
+                "args": {"sort_index": _FAULT_TID},
+            }
+        )
+
+        def fault_instant(name: str, cat: str, t_s: float, args: Dict) -> Dict:
+            return {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "s": "t",
+                "pid": _PID,
+                "tid": _FAULT_TID,
+                "ts": t_s * 1e6,
+                "args": args,
+            }
+
+        for entry in faults.get("events", ()):
+            events.append(
+                fault_instant(
+                    f"fault:{entry['kind']}",
+                    "fault",
+                    entry["t_s"],
+                    dict(entry),
+                )
+            )
+        for entry in faults.get("retries", ()):
+            events.append(
+                fault_instant(
+                    f"retry:{entry['uid']}", "fault-retry", entry["t_s"], dict(entry)
+                )
+            )
+        for entry in faults.get("degradations", ()):
+            events.append(
+                fault_instant(
+                    f"degrade:{entry['uid']}",
+                    "fault-degrade",
+                    entry["t_s"],
+                    dict(entry),
+                )
+            )
+        for entry in faults.get("reselections", ()):
+            events.append(
+                fault_instant(
+                    "reselect-offloads",
+                    "fault-reselect",
+                    entry["t_s"],
+                    dict(entry),
+                )
             )
 
     if cache_stats:

@@ -69,7 +69,7 @@ class LocalityReport:
     @property
     def load_imbalance(self) -> float:
         """Max over mean bank unit-load (1.0 = perfectly balanced)."""
-        loads = [l for l in self.bank_unit_load]
+        loads = list(self.bank_unit_load)
         mean = sum(loads) / len(loads) if loads else 0.0
         return max(loads) / mean if mean > 0 else 0.0
 

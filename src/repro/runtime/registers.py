@@ -11,7 +11,7 @@ onto per-bank bits through the thermal-aware placement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Set
 
 from ..errors import HardwareConfigError
 from ..hardware.fixed_pim import FixedPIMPool
@@ -57,12 +57,31 @@ class UtilizationRegisters:
         self._pool = pool
         self._cluster = cluster
         self._placement = placement
+        self._failed_banks: Set[int] = set()
+
+    def mark_bank_failed(self, bank_index: int) -> None:
+        """Latch a bank's register as permanently busy (fault injection)."""
+        if not 0 <= bank_index < len(self._placement.units_per_bank):
+            raise HardwareConfigError(
+                f"bank {bank_index} not covered by the placement"
+            )
+        self._failed_banks.add(bank_index)
+
+    @property
+    def failed_banks(self) -> Set[int]:
+        return set(self._failed_banks)
 
     def snapshot(self) -> RegisterFile:
-        busy_units = self._pool.busy_units
+        # fault losses count as occupied capacity: a lost unit can never
+        # be idle, so the register view stays conservative
+        busy_units = self._pool.busy_units + getattr(self._pool, "lost_units", 0)
         bank_busy: List[bool] = []
         consumed = 0
-        for capacity in self._placement.units_per_bank:
+        for index, capacity in enumerate(self._placement.units_per_bank):
+            if index in self._failed_banks:
+                bank_busy.append(True)
+                consumed += capacity
+                continue
             if capacity == 0:
                 bank_busy.append(False)
                 continue

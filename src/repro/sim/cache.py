@@ -17,7 +17,9 @@ Two tiers back the fingerprint:
 
 * an in-process dict (free hits within one run of the evaluation);
 * an on-disk store of canonical-JSON :class:`~repro.sim.results.RunResult`
-  records under ``<cache-dir>/objects/<aa>/<digest>.json``, shared across
+  records under ``<cache-dir>/objects/v<schema>/<aa>/<digest>.json``
+  (namespaced by ``CACHE_SCHEMA`` so newer-code entries are invisible to
+  older checkouts rather than misread), shared across
   processes — the parallel experiment runner's workers populate it and the
   parent (and every later invocation: pytest, benchmarks, the CLI) reads
   the same entries.  JSON (via the versioned
@@ -53,7 +55,11 @@ from .results import RunResult
 
 #: Schema/behavior version folded into every fingerprint.  2: results carry
 #: observability aggregates and the disk tier stores canonical JSON.
-CACHE_SCHEMA = 2
+#: 3: fault specs join the fingerprint, results carry the fault/recovery
+#: log, and disk entries live under a per-schema namespace
+#: (``objects/v<N>/``) so entries written by *newer* code are invisible to
+#: older code instead of being misread.
+CACHE_SCHEMA = 3
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_CACHE"
@@ -174,14 +180,17 @@ def run_fingerprint(
     policy: SchedulingPolicy,
     config: SystemConfig,
     steps: Optional[int] = None,
+    faults=None,
 ) -> str:
-    """Hex digest identifying one (graph, policy, config, steps) run."""
+    """Hex digest identifying one (graph, policy, config, steps, faults)
+    run.  ``faults`` is a :class:`~repro.faults.spec.FaultSpec` (or None
+    for the fault-free run — the two never share a fingerprint)."""
     effective_steps = (
         steps if steps is not None else config.runtime.measured_steps
     )
     parts = [_encoded_graph_signature(graph)]
     _encode(
-        (CACHE_SCHEMA, policy.signature(), config, effective_steps),
+        (CACHE_SCHEMA, policy.signature(), config, effective_steps, faults),
         parts,
     )
     return hashlib.sha256("".join(parts).encode()).hexdigest()
@@ -191,7 +200,16 @@ def run_fingerprint(
 # tiers
 # ---------------------------------------------------------------------------
 def _object_path(fingerprint: str) -> Path:
-    return cache_dir() / "objects" / fingerprint[:2] / f"{fingerprint}.json"
+    # per-schema namespace: code only ever reads entries written by the
+    # same CACHE_SCHEMA, so an entry written by newer code can never be
+    # misinterpreted (or half-understood) by an older checkout
+    return (
+        cache_dir()
+        / "objects"
+        / f"v{CACHE_SCHEMA}"
+        / fingerprint[:2]
+        / f"{fingerprint}.json"
+    )
 
 
 def get(fingerprint: str) -> Optional[RunResult]:
@@ -246,14 +264,15 @@ def clear(disk: bool = True) -> None:
     objects = cache_dir() / "objects"
     if not objects.is_dir():
         return
-    for shard in objects.iterdir():
-        if shard.is_dir():
-            # *.pkl covers entries left behind by the pre-JSON disk format
-            for entry in list(shard.glob("*.json")) + list(shard.glob("*.pkl")):
-                try:
-                    entry.unlink()
-                except OSError:
-                    pass
+    # rglob sweeps every schema namespace (objects/v<N>/<aa>/) as well as
+    # legacy layouts: pre-v3 flat shards (objects/<aa>/*.json) and the
+    # pre-JSON pickle format (*.pkl)
+    for pattern in ("*.json", "*.pkl"):
+        for entry in objects.rglob(pattern):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
 
 
 def stats() -> Dict[str, int]:
@@ -274,12 +293,14 @@ def simulate_cached(
     policy: SchedulingPolicy,
     config: Optional[SystemConfig] = None,
     steps: Optional[int] = None,
+    faults=None,
 ) -> RunResult:
     """Run (or fetch) one simulation, keyed by content fingerprint.
 
     Drop-in replacement for :func:`repro.sim.simulation.simulate` for any
     run that does not need a live :class:`Simulation` object (timelines,
-    device introspection).
+    device introspection).  ``faults`` (a FaultSpec) is part of the
+    fingerprint: faulted and fault-free runs cache independently.
     """
     from .simulation import Simulation  # local import avoids a cycle
 
@@ -287,9 +308,11 @@ def simulate_cached(
         from ..config import default_config
 
         config = default_config()
-    fingerprint = run_fingerprint(graph, policy, config, steps)
+    fingerprint = run_fingerprint(graph, policy, config, steps, faults=faults)
     result = get(fingerprint)
     if result is None:
-        result = Simulation(graph, policy, config=config, steps=steps).run()
+        result = Simulation(
+            graph, policy, config=config, steps=steps, faults=faults
+        ).run()
         put(fingerprint, result)
     return result

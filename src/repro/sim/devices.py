@@ -33,6 +33,7 @@ class SlotDevice:
         self.name = name
         self.slots = slots
         self._busy = 0
+        self._lost = 0
         self._busy_integral = 0.0
         self._last_time = 0.0
         self._acquisitions = 0
@@ -40,8 +41,36 @@ class SlotDevice:
         self._level_seconds = [0.0] * (slots + 1)
 
     @property
+    def busy_slots(self) -> int:
+        return self._busy
+
+    @property
+    def lost_slots(self) -> int:
+        """Slots permanently removed by injected faults."""
+        return self._lost
+
+    @property
+    def effective_slots(self) -> int:
+        """Usable slots: nominal count minus fault losses."""
+        return self.slots - self._lost
+
+    @property
     def free_slots(self) -> int:
-        return self.slots - self._busy
+        # clamped: a kernel running on a just-lost slot drains gracefully,
+        # so busy may transiently exceed the effective capacity
+        return max(0, self.effective_slots - self._busy)
+
+    def lose_slots(self, n: int) -> int:
+        """Permanently remove up to ``n`` slots; returns the actual loss.
+
+        In-flight kernels finish normally (graceful drain); the loss only
+        constrains future acquisitions.
+        """
+        if n < 1:
+            raise SchedulingError(f"device {self.name!r}: lose {n} slots")
+        lost = min(n, self.effective_slots)
+        self._lost += lost
+        return lost
 
     def _integrate(self) -> None:
         now = self.engine.now
@@ -55,7 +84,7 @@ class SlotDevice:
         """Claim ``n`` slots atomically; False if not all available."""
         if n < 1:
             raise SchedulingError(f"device {self.name!r}: acquire {n} slots")
-        if self._busy + n > self.slots:
+        if self._busy + n > self.effective_slots:
             return False
         self._integrate()
         self._busy += n
@@ -108,6 +137,9 @@ class _MacJob:
     on_done: Callable[[], None]
     handle: Optional[EventHandle] = None
     arrival: int = 0
+    #: Invoked if the sub-kernel is revoked by a fault (units lost
+    #: mid-flight); the scheduler retries or degrades the operation.
+    on_abort: Optional[Callable[[], None]] = None
 
 
 class FixedPoolExecutor:
@@ -141,6 +173,10 @@ class FixedPoolExecutor:
         self.byte_rate_per_unit = byte_rate_per_unit
         self.pipeline = pipeline
         self.on_units_freed = on_units_freed or (lambda: None)
+        #: Frequency multiplier from thermal throttling (1.0 = nominal).
+        self._speed = 1.0
+        #: In-stack bandwidth multiplier from DRAM derating (1.0 = nominal).
+        self._bandwidth_scale = 1.0
         self._jobs: Dict[str, _MacJob] = {}
         self._arrivals = 0
         self._expansions = 0
@@ -205,7 +241,11 @@ class FixedPoolExecutor:
     def normalized_work(self, macs: int, nbytes: int) -> float:
         """Work in unit-seconds: the per-unit compute/stream bound."""
         mac_w = macs / self.mac_rate_per_unit if macs else 0.0
-        byte_w = nbytes / self.byte_rate_per_unit if nbytes else 0.0
+        byte_w = (
+            nbytes / (self.byte_rate_per_unit * self._bandwidth_scale)
+            if nbytes
+            else 0.0
+        )
         return max(mac_w, byte_w)
 
     def try_submit(
@@ -215,6 +255,7 @@ class FixedPoolExecutor:
         nbytes: int,
         want_units: int,
         on_done: Callable[[], None],
+        on_abort: Optional[Callable[[], None]] = None,
     ) -> bool:
         """Start a MAC sub-kernel; False when no units are available (or
         another operation holds the exclusive token)."""
@@ -235,6 +276,7 @@ class FixedPoolExecutor:
             last_update=now,
             on_done=on_done,
             arrival=self._arrivals,
+            on_abort=on_abort,
         )
         self._jobs[kernel_id] = job
         self._schedule_completion(job)
@@ -242,7 +284,8 @@ class FixedPoolExecutor:
 
     def _settle(self, job: _MacJob) -> None:
         now = self.engine.now
-        job.remaining = max(0.0, job.remaining - job.units * (now - job.last_update))
+        rate = job.units * self._speed
+        job.remaining = max(0.0, job.remaining - rate * (now - job.last_update))
         job.last_update = now
 
     def _schedule_completion(self, job: _MacJob) -> None:
@@ -254,7 +297,7 @@ class FixedPoolExecutor:
                 job.handle.cancel()
                 job.handle = None
             return
-        target = self.engine.now + job.remaining / job.units
+        target = self.engine.now + job.remaining / (job.units * self._speed)
         handle = job.handle
         if handle is not None:
             if not handle.cancelled and handle.time == target:
@@ -289,6 +332,60 @@ class FixedPoolExecutor:
                 self._expansions += 1
                 self._schedule_completion(job)
 
+    # ------------------------------------------------------------------
+    # fault hooks (repro.faults)
+    # ------------------------------------------------------------------
+    @property
+    def speed(self) -> float:
+        return self._speed
+
+    def set_speed(self, factor: float) -> None:
+        """Derate (or restore) the pool frequency: settle every in-flight
+        job at the old rate, then reschedule completions at the new one."""
+        if factor <= 0:
+            raise SimulationError(f"pool speed factor must be > 0, got {factor}")
+        if factor == self._speed:
+            return
+        for job in self._jobs.values():
+            self._settle(job)
+        self._speed = factor
+        for job in sorted(self._jobs.values(), key=lambda j: j.arrival):
+            self._schedule_completion(job)
+
+    def set_bandwidth_scale(self, factor: float) -> None:
+        """Scale the in-stack bandwidth seen by *newly submitted* work
+        (DRAM-timing derating; in-flight jobs keep their work estimate)."""
+        if factor <= 0:
+            raise SimulationError(
+                f"bandwidth scale must be > 0, got {factor}"
+            )
+        self._bandwidth_scale = factor
+
+    def lose_units(self, units: int):
+        """Shrink the pool; aborts revoked in-flight sub-kernels.
+
+        Returns the revoked kernel ids (the pool may revoke whole kernels
+        to fit the surviving capacity).  Each revoked job's ``on_abort``
+        runs after all revocations are applied, in revocation order.
+        """
+        revoked = self.pool.shrink(units, self.engine.now)
+        aborted = []
+        for kernel_id in revoked:
+            job = self._jobs.pop(kernel_id, None)
+            if job is None:
+                continue
+            if job.handle is not None:
+                job.handle.cancel()
+                job.handle = None
+            if job.on_abort is not None:
+                aborted.append(job.on_abort)
+        if self.pipeline:
+            self._redistribute()
+        for on_abort in aborted:
+            on_abort()
+        self.on_units_freed()
+        return revoked
+
     @property
     def active_jobs(self) -> int:
         return len(self._jobs)
@@ -310,6 +407,7 @@ class FixedPoolExecutor:
     def publish_metrics(self, registry) -> None:
         """Publish pool executor accounting into an observability registry."""
         registry.gauge("fixed.units").set(self.pool.n_units)
+        registry.gauge("fixed.lost_units").set(self.pool.lost_units)
         registry.gauge("fixed.subkernels").set(self._arrivals)
         registry.gauge("fixed.expansions").set(self._expansions)
         registry.gauge("fixed.busy_unit_s").set(self.busy_unit_seconds())

@@ -29,7 +29,8 @@ from .activity import TimeBreakdown
 
 #: Version tag embedded in every serialized result; bump when the schema
 #: changes shape (loaders reject unknown versions instead of guessing).
-RESULT_SCHEMA_VERSION = 2
+#: v3: added the ``faults`` fault/recovery log (None on fault-free runs).
+RESULT_SCHEMA_VERSION = 3
 
 
 def canonical_dumps(payload, indent: Optional[int] = None) -> str:
@@ -73,6 +74,9 @@ class RunResult:
     selection: Optional[Dict[str, object]] = None
     #: Flat observability snapshot (engine/scheduler/pool counters).
     metrics: Optional[Dict[str, float]] = None
+    #: Fault/recovery log (spec, injected events, retries, degradations,
+    #: re-selections) when the run was fault-injected; None otherwise.
+    faults: Optional[Dict[str, object]] = None
 
     @property
     def step_breakdown(self) -> TimeBreakdown:
@@ -153,6 +157,7 @@ class RunResult:
                 if self.metrics is not None
                 else None
             ),
+            "faults": self.faults,
         }
 
     @classmethod
@@ -187,6 +192,7 @@ class RunResult:
             queue_wait_s=data.get("queue_wait_s"),
             selection=data.get("selection"),
             metrics=metrics,
+            faults=data.get("faults"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

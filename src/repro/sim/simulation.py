@@ -53,7 +53,14 @@ class _Task:
     sort_key: Tuple[int, int, int] = (0, 0, 0)
     #: Preference-ordered placements, fixed per task (policies are pure
     #: per-op once prepared) — precomputed to keep ``_try_start`` cheap.
+    #: Fault recovery may rewrite this (degradation / re-selection).
     places: Tuple[str, ...] = ()
+    #: True once fault recovery rerouted this task off its preferred
+    #: placement; degraded tasks bypass the profile-aware fallback guard
+    #: (completing the step beats the slowdown limit).
+    degraded: bool = False
+    #: Fixed-pool submission attempts consumed by the retry/backoff loop.
+    fault_attempts: int = 0
 
 
 class Simulation:
@@ -67,6 +74,7 @@ class Simulation:
         steps: Optional[int] = None,
         record_timeline: bool = False,
         observe: Optional[MetricsRegistry] = None,
+        faults=None,
     ):
         self.graph = graph
         self.timeline: Optional[Timeline] = Timeline() if record_timeline else None
@@ -128,8 +136,13 @@ class Simulation:
         self._step_end: Dict[int, float] = {}
         self._model_step_remaining: Dict[tuple, int] = {}
         self._model_step_end: Dict[tuple, float] = {}
-        self._fixed_waiters: List[Callable[[], bool]] = []
-        self._slot_waiters: Dict[str, List[Callable[[], bool]]] = {
+        #: Waiters are (attempt, on_dead) pairs: ``attempt`` retries the
+        #: submission, ``on_dead`` reroutes the work if the device's
+        #: capacity drops to zero while waiting (fault injection).
+        self._fixed_waiters: List[Tuple[Callable[[], bool], Callable[[], None]]] = []
+        self._slot_waiters: Dict[
+            str, List[Tuple[Callable[[], bool], Optional[Callable[[], None]]]]
+        ] = {
             "cpu": [],
             "prog": [],
         }
@@ -137,7 +150,20 @@ class Simulation:
         self._drain_rounds = 0
         self._tasks_started: Dict[str, int] = {}
         self._queue_wait: Dict[str, float] = {}
+        #: Fault-injection state (None on the fault-free fast path).
+        self.faults = faults
+        self._injector = None
+        self._registers = None
+        self._dram_scale = 1.0
         self._build_tasks()
+        if faults is not None:
+            # lazy import: repro.runtime imports this module at package
+            # init, so the faults package (which reads the register file
+            # from repro.runtime.registers) cannot be imported at the top
+            from ..faults.injector import FaultInjector
+
+            self._injector = FaultInjector(faults, self)
+            self._registers = self._injector.registers
 
     # ------------------------------------------------------------------
     # task-graph construction
@@ -233,9 +259,16 @@ class Simulation:
         # retry mid-kernel sub-kernel submissions first (they hold devices)
         if self._fixed_waiters:
             waiters, self._fixed_waiters = self._fixed_waiters, []
-            for waiter in waiters:
-                if not waiter():
-                    self._fixed_waiters.append(waiter)
+            for attempt, on_dead in waiters:
+                if attempt():
+                    continue
+                if (
+                    self._injector is not None
+                    and self.fixed.pool.capacity_units == 0
+                ):
+                    on_dead()  # pool died while queued: degrade, don't hang
+                else:
+                    self._fixed_waiters.append((attempt, on_dead))
         if not self._ready:
             return
         # Swap the ready list out before iterating: synchronous completions
@@ -300,6 +333,13 @@ class Simulation:
     # placement dispatch
     # ------------------------------------------------------------------
     def _fixed_available(self, uid: str) -> bool:
+        if self._injector is not None:
+            # runtime reaction, paper Figure 7: consult the idle/busy
+            # register file before dispatching to the fixed pool
+            if self.fixed.pool.capacity_units == 0:
+                return False
+            if not self._registers.snapshot().any_fixed_idle:
+                return False
         if self.policy.operation_pipeline:
             return self.fixed.pool.free_units > 0
         return self.fixed.token_holder is None
@@ -379,8 +419,10 @@ class Simulation:
         # first claim on freed slots each scheduling round).
         background = task.priority > 0
         for place in places:
-            if place != places[0] and not self._fallback_allowed(
-                op, place, places[0]
+            if (
+                place != places[0]
+                and not task.degraded
+                and not self._fallback_allowed(op, place, places[0])
             ):
                 continue
             if background and place == "prog" and self._slot_waiters["prog"]:
@@ -430,7 +472,12 @@ class Simulation:
     # ------------------------------------------------------------------
     # executor-slot waiting (complex phases acquire slots mid-kernel)
     # ------------------------------------------------------------------
-    def _acquire_slot(self, device: SlotDevice, then: Callable[[], None]) -> None:
+    def _acquire_slot(
+        self,
+        device: SlotDevice,
+        then: Callable[[], None],
+        on_dead: Optional[Callable[[], None]] = None,
+    ) -> None:
         def attempt() -> bool:
             if device.try_acquire():
                 then()
@@ -438,15 +485,18 @@ class Simulation:
             return False
 
         if not attempt():
-            self._slot_waiters[device.name].append(attempt)
+            if on_dead is not None and device.effective_slots == 0:
+                on_dead()
+                return
+            self._slot_waiters[device.name].append((attempt, on_dead))
 
     def _release_slot(self, device: SlotDevice) -> None:
         device.release()
         waiters = self._slot_waiters[device.name]
         while waiters and device.free_slots > 0:
-            attempt = waiters.pop(0)
+            attempt, on_dead = waiters.pop(0)
             if not attempt():
-                waiters.insert(0, attempt)
+                waiters.insert(0, (attempt, on_dead))
                 break
         self._schedule_drain()
 
@@ -502,7 +552,13 @@ class Simulation:
 
     def _prog_phase_duration(self, flops: float, nbytes: float) -> float:
         compute_s = flops / self._prog_flops_per_pim if flops else 0.0
-        memory_s = nbytes / self.config.stack.bandwidth if nbytes else 0.0
+        # _dram_scale stays exactly 1.0 without fault injection, keeping
+        # the fault-free division bit-identical (x / (b * 1.0) == x / b)
+        memory_s = (
+            nbytes / (self.config.stack.bandwidth * self._dram_scale)
+            if nbytes
+            else 0.0
+        )
         return max(compute_s, memory_s)
 
     def _prog_gang_size(self, op) -> int:
@@ -542,9 +598,9 @@ class Simulation:
     def _drain_prog_waiters(self) -> None:
         waiters = self._slot_waiters["prog"]
         while waiters and self.prog.free_slots > 0:
-            attempt = waiters.pop(0)
+            attempt, on_dead = waiters.pop(0)
             if not attempt():
-                waiters.insert(0, attempt)
+                waiters.insert(0, (attempt, on_dead))
                 break
 
     def _fixed_launch_overhead(self) -> float:
@@ -576,34 +632,165 @@ class Simulation:
         return max(total, 0.0)
 
     def _submit_mac(
-        self, uid: str, macs: int, nbytes: int, want: int, on_done: Callable[[], None]
+        self, task: _Task, macs: int, nbytes: int, want: int, on_done: Callable[[], None]
     ) -> None:
         """Submit one MAC sub-kernel, waiting for units if necessary.
 
         The sub-kernel counts as compute activity only while it actually
         holds units; waiting time surfaces as sync/idle in the breakdown.
+        Under fault injection the submission carries an abort hook: a
+        revoked sub-kernel is retried with capped exponential backoff and
+        the operation degrades (prog PIM, then CPU) when the pool dies or
+        the retry budget runs out.
         """
+        uid = task.uid
 
         def wrapped_done() -> None:
             self.tracker.end(COMPUTE, self.engine.now)
             self.usage.fixed_macs += macs
             on_done()
 
+        def on_abort() -> None:
+            # revoked mid-flight: the partial compute is lost
+            self.tracker.end(COMPUTE, self.engine.now)
+            self._retry_or_degrade(task, resubmit)
+
         def attempt() -> bool:
-            started = self.fixed.try_submit(uid, macs, nbytes, want, wrapped_done)
+            started = self.fixed.try_submit(
+                uid, macs, nbytes, want, wrapped_done, on_abort=on_abort
+            )
             if started:
                 self.tracker.begin(COMPUTE, self.engine.now)
             return started
 
-        if not attempt():
-            self._fixed_waiters.append(attempt)
+        def on_dead() -> None:
+            self._retry_or_degrade(task, resubmit, pool_dead=True)
+
+        def resubmit() -> None:
+            if attempt():
+                return
+            if self._injector is not None and self.fixed.pool.capacity_units == 0:
+                on_dead()
+                return
+            self._fixed_waiters.append((attempt, on_dead))
+
+        resubmit()
+
+    def _retry_or_degrade(
+        self, task: _Task, resubmit: Callable[[], None], pool_dead: bool = False
+    ) -> None:
+        """React to an aborted fixed-pool sub-kernel (fault injection).
+
+        Retries with capped exponential backoff while the pool has
+        capacity and the retry budget lasts; otherwise degrades the whole
+        operation to the programmable PIM (or the CPU).
+        """
+        spec = self.faults
+        task.fault_attempts += 1
+        can_retry = (
+            not pool_dead
+            and self.fixed.pool.capacity_units > 0
+            and task.fault_attempts <= spec.max_retries
+        )
+        if can_retry:
+            delay = spec.backoff_s(task.fault_attempts)
+            self._injector.log_retry(
+                self.engine.now, task.uid, task.fault_attempts, delay
+            )
+            self._timed(SYNC, delay, resubmit)
+            return
+        self._degrade_fixed_task(task)
+
+    def _degraded_places(self) -> Tuple[str, ...]:
+        if self.prog.effective_slots > 0:
+            return ("prog", "cpu")
+        return ("cpu",)
+
+    def _degrade_fixed_task(self, task: _Task) -> None:
+        """Unwind a fixed/hybrid operation and re-place it entirely.
+
+        The degradation chain is fixed-function PIM -> programmable PIM ->
+        CPU: the op restarts from scratch on the best surviving device, so
+        a training step always completes.
+        """
+        self.fixed.drop_token(task.uid)
+        self.fixed.window_exit()
+        now = self.engine.now
+        places = self._degraded_places()
+        self._injector.log_degradation(
+            now, task.uid, task.device or "fixed", places[0]
+        )
+        task.started = False
+        task.device = None
+        task.degraded = True
+        task.places = places
+        task.ready_s = now
+        task.fault_attempts = 0
+        self._ready.append(task)
+        self._schedule_drain()
+
+    # ------------------------------------------------------------------
+    # fault reaction (capacity changes; see repro.faults)
+    # ------------------------------------------------------------------
+    def _set_dram_scale(self, scale: float) -> None:
+        """Apply a DRAM-timing derate to newly issued streaming phases."""
+        self._dram_scale = scale
+        self.fixed.set_bandwidth_scale(scale)
+
+    def _on_prog_lost(self, pims: int) -> int:
+        """Shrink the programmable-PIM cluster; reroute dead waiters."""
+        lost = self.prog.lose_slots(pims)
+        if self.prog.effective_slots == 0:
+            waiters = self._slot_waiters["prog"]
+            self._slot_waiters["prog"] = []
+            for attempt, on_dead in waiters:
+                if on_dead is not None:
+                    on_dead()
+                else:  # pragma: no cover - prog waiters always carry one
+                    self._slot_waiters["prog"].append((attempt, on_dead))
+        self._recompute_placements()
+        self._schedule_drain()
+        return lost
+
+    def _recompute_placements(self) -> None:
+        """Re-run offload selection for queued work after a capacity loss.
+
+        Placements naming a dead device are stripped; work that loses its
+        every placement falls back to the CPU (which never faults), so no
+        task can strand.  Mirrors the paper's runtime re-consulting its
+        profile when the schedulable pool changes.
+        """
+        fixed_dead = self.fixed.pool.capacity_units == 0
+        prog_dead = self.prog.effective_slots == 0
+        if not (fixed_dead or prog_dead):
+            return
+        dead_places = set()
+        if fixed_dead:
+            dead_places.update(("fixed", "hybrid", "hybrid_host"))
+        if prog_dead:
+            dead_places.add("prog")
+        retargeted = 0
+        for task in self._tasks.values():
+            if task.started or task.done or not task.places:
+                continue
+            places = tuple(p for p in task.places if p not in dead_places)
+            if places == task.places:
+                continue
+            if not places:
+                places = ("cpu",)
+            elif "cpu" not in places:
+                places = places + ("cpu",)
+            task.places = places
+            task.degraded = True
+            retargeted += 1
+        if retargeted and self._injector is not None:
+            self._injector.log_reselection(self.engine.now, retargeted)
 
     def _start_fixed(self, task: _Task) -> None:
         """FIXED-class op: host-coordinated MAC chunks on the pool."""
         op = task.spec.op
         plan = task.spec.kernel.binary(BinaryKind.FIXED_FULL).plan
         phases = list(plan)
-        launch = self._fixed_launch_overhead()
         self.usage.internal_bytes += op.traffic_bytes
         self.fixed.window_enter()
 
@@ -618,7 +805,7 @@ class Simulation:
 
             def after_launch() -> None:
                 self._submit_mac(
-                    task.uid,
+                    task,
                     phase.macs,
                     phase.bytes_moved,
                     op.cost.parallelism,
@@ -666,12 +853,15 @@ class Simulation:
             def after_launch() -> None:
                 if phase.kind is PhaseKind.COMPLEX:
                     self._run_complex_phase(
-                        phase, complex_on, lambda: next_phase(i + 1, False)
+                        phase,
+                        complex_on,
+                        lambda: next_phase(i + 1, False),
+                        uid=task.uid,
                     )
                 else:
                     self.usage.internal_bytes += phase.bytes_moved
                     self._submit_mac(
-                        task.uid,
+                        task,
                         phase.macs,
                         phase.bytes_moved,
                         op.cost.parallelism,
@@ -683,24 +873,47 @@ class Simulation:
         next_phase(0, True)
 
     def _run_complex_phase(
-        self, phase, complex_on: str, then: Callable[[], None]
+        self,
+        phase,
+        complex_on: str,
+        then: Callable[[], None],
+        uid: Optional[str] = None,
     ) -> None:
-        """Execute one COMPLEX phase on its device, waiting for a slot."""
+        """Execute one COMPLEX phase on its device, waiting for a slot.
+
+        Under fault injection a complex phase targeting a dead (or dying)
+        programmable PIM degrades to the host CPU instead of stranding the
+        recursive kernel.
+        """
         if complex_on == "prog":
+            def fall_back_to_cpu() -> None:
+                if self._injector is not None and uid is not None:
+                    self._injector.log_degradation(
+                        self.engine.now, uid, "prog", "cpu"
+                    )
+                self._complex_on_cpu(phase, then)
+
+            if self.prog.effective_slots == 0:
+                fall_back_to_cpu()
+                return
             duration = self._prog_phase_duration(
                 phase.other_flops * self._prog_other_penalty, phase.bytes_moved
             )
-            self.usage.internal_bytes += phase.bytes_moved
 
             def run_on_prog() -> None:
+                self.usage.internal_bytes += phase.bytes_moved
+
                 def done() -> None:
                     self._release_slot(self.prog)
                     then()
 
                 self._timed(COMPUTE, duration, done)
 
-            self._acquire_slot(self.prog, run_on_prog)
+            self._acquire_slot(self.prog, run_on_prog, on_dead=fall_back_to_cpu)
             return
+        self._complex_on_cpu(phase, then)
+
+    def _complex_on_cpu(self, phase, then: Callable[[], None]) -> None:
         timing = self.cpu_model.staging_timing(phase.bytes_moved, phase.other_flops)
         self.usage.external_bytes += phase.bytes_moved
 
@@ -722,7 +935,12 @@ class Simulation:
     def _collect(self) -> RunResult:
         now = self.engine.now
         makespan = now
-        breakdown = self.tracker.breakdown(now)
+        if self._injector is not None and self._step_end:
+            # fault/restore events may be scheduled past the last task
+            # finish; the engine drains them, so ``now`` can overshoot the
+            # actual completion time.  Clamp to the last step boundary.
+            makespan = max(self._step_end.values())
+        breakdown = self.tracker.breakdown(makespan)
         usage = DeviceUsage(
             fixed_macs=self.usage.fixed_macs,
             cpu_busy_s=self.cpu.busy_seconds(),
@@ -759,6 +977,11 @@ class Simulation:
             queue_wait_s=dict(sorted(self._queue_wait.items())),
             selection=selection,
             metrics=metrics,
+            faults=(
+                self._injector.to_result_dict()
+                if self._injector is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -809,6 +1032,8 @@ class Simulation:
             registry.gauge(f"sched.queue_wait_s.{device}").set(
                 self._queue_wait[device]
             )
+        if self._injector is not None:
+            self._injector.publish_metrics(registry)
 
     def _steady_step_time(self) -> float:
         ends = [self._step_end[s] for s in sorted(self._step_end)]

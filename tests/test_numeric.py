@@ -183,8 +183,6 @@ class TestGradientCheck:
         """A corrupted analytic gradient must fail the check."""
         g = mlp()
         feeds = random_feeds(g, seed=7)
-        env = NumericExecutor(g).run(feeds)
-        grads = param_gradient_tensors(g)
         # sanity: the check passes, then break the executor's Relu rule
         check_gradients(g, feeds, params=["fc1/weights"], samples_per_param=2)
         import repro.nn.numeric as numeric_mod

@@ -7,7 +7,6 @@ device-lane mapping for configurations without a GPU.
 """
 
 import json
-import warnings
 
 import pytest
 

@@ -7,7 +7,7 @@ substrate deviates (every deviation is documented in EXPERIMENTS.md).
 
 import pytest
 
-from repro.experiments.common import EVAL_MODELS, run_model_on
+from repro.experiments.common import run_model_on
 
 FAST_MODELS = ("vgg-19", "alexnet", "dcgan")
 

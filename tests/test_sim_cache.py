@@ -203,3 +203,48 @@ class TestRunner:
         sim_cache.reset_stats()
         run_model_on(MODEL, "cpu")
         assert sim_cache.stats()["misses"] == 0
+
+
+class TestSchemaNamespacing:
+    """Entries written by a different CACHE_SCHEMA must never be read."""
+
+    def test_object_path_is_schema_namespaced(self):
+        graph, policy, config = _job()
+        fp = run_fingerprint(graph, policy, config)
+        path = sim_cache._object_path(fp)
+        assert f"v{sim_cache.CACHE_SCHEMA}" in path.parts
+
+    def test_newer_schema_entry_is_invisible(self):
+        graph, policy, config = _job()
+        fp = run_fingerprint(graph, policy, config)
+        result = simulate_cached(graph, policy, config)
+        # plant the same payload under a FUTURE schema namespace: a
+        # checkout running newer code left it behind
+        future = (
+            sim_cache.cache_dir()
+            / "objects"
+            / f"v{sim_cache.CACHE_SCHEMA + 1}"
+            / fp[:2]
+            / f"{fp}.json"
+        )
+        future.parent.mkdir(parents=True, exist_ok=True)
+        future.write_text(result.to_json())
+        sim_cache._object_path(fp).unlink()
+        sim_cache._memory.clear()
+        sim_cache.reset_stats()
+        assert sim_cache.get(fp) is None  # never reads across namespaces
+        assert sim_cache.stats()["misses"] == 1
+
+    def test_clear_sweeps_every_namespace_and_legacy_layouts(self):
+        graph, policy, config = _job()
+        simulate_cached(graph, policy, config)
+        objects = sim_cache.cache_dir() / "objects"
+        future = objects / f"v{sim_cache.CACHE_SCHEMA + 1}" / "ab" / "x.json"
+        legacy_flat = objects / "ab" / "deadbeef.json"
+        legacy_pickle = objects / "ab" / "deadbeef.pkl"
+        for planted in (future, legacy_flat, legacy_pickle):
+            planted.parent.mkdir(parents=True, exist_ok=True)
+            planted.write_text("{}")
+        sim_cache.clear()
+        assert not any(objects.rglob("*.json"))
+        assert not any(objects.rglob("*.pkl"))

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.baselines import (
-    CpuPolicy,
-    GpuPolicy,
-    build_configuration,
-    make_neurocube,
-)
+from repro.baselines import build_configuration, make_neurocube
 from repro.config import default_config
 from repro.nn.models import build_model
 from repro.runtime.scheduler import HeteroPimPolicy

@@ -1,6 +1,5 @@
 """Units helpers and system-configuration invariants."""
 
-import math
 
 import pytest
 
@@ -11,7 +10,7 @@ from repro.config import (
     default_config,
 )
 from repro.errors import HardwareConfigError
-from repro.units import GB_S, GHZ, MHZ, US, seconds_per_cycle
+from repro.units import GHZ, MHZ, seconds_per_cycle
 
 
 class TestUnits:

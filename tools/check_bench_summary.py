@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""CI gate: ``BENCH_summary.json`` must cover every benchmark module.
+
+The benchmark harness (benchmarks/conftest.py) records one entry per
+executed benchmark into ``BENCH_summary.json``.  CI runs the full
+``benchmarks/`` directory; this check fails if any ``bench_*.py`` module
+is missing from the summary — which happens when a benchmark silently
+stopped running (collection error, filename typo, stale summary from a
+partial run).
+
+Usage: ``python tools/check_bench_summary.py [summary_path]``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    summary_path = (
+        Path(sys.argv[1]) if len(sys.argv) > 1 else REPO / "BENCH_summary.json"
+    )
+    if not summary_path.is_file():
+        print(f"FAIL: {summary_path} does not exist")
+        return 1
+    summary = json.loads(summary_path.read_text())
+    figures = summary.get("figures", {})
+    covered = {nodeid.split("::")[0].split("/")[-1] for nodeid in figures}
+
+    modules = sorted(p.name for p in (REPO / "benchmarks").glob("bench_*.py"))
+    if not modules:
+        print("FAIL: no benchmark modules found under benchmarks/")
+        return 1
+    missing = [m for m in modules if m not in covered]
+    if missing:
+        print(
+            f"FAIL: BENCH_summary.json covers {len(covered)} of "
+            f"{len(modules)} benchmark modules; missing: {', '.join(missing)}"
+        )
+        return 1
+    print(
+        f"bench summary OK: all {len(modules)} benchmark modules covered "
+        f"({summary.get('total_wall_clock_s', '?')} s total)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

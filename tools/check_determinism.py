@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""CI determinism gate: byte-identical artifacts across execution modes.
+
+Runs one small experiment bundle (a fault-free run, a fault-injected run
+with a nonzero seed, a Chrome trace export, and a multi-config experiment
+sweep) three times:
+
+1. serial, cold cache;
+2. ``--jobs 4`` (process-pool workers), cold cache;
+3. serial again, warm cache (reusing run 1's disk tier).
+
+All three must produce byte-identical artifacts — any drift between
+serial/parallel execution or cold/warm cache is a correctness bug in the
+result cache, the runner, or the simulator's determinism, and fails CI.
+
+Usage: ``PYTHONPATH=src python tools/check_determinism.py``
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: The workload every mode regenerates.  Kept small (seconds, not
+#: minutes) but wide: cache round trips, fault injection with retries /
+#: degradation, trace export, and the parallel experiment runner.
+INNER = """
+import json
+import sys
+
+from repro import api
+from repro.experiments import faults as faults_experiment
+from repro.faults import FaultSpec
+from repro.obs.trace import validate_chrome_trace
+
+out = []
+
+# compare the result records, not the RunReport envelope: the envelope's
+# cache_stats legitimately differ between cold and warm runs
+plain = api.simulate("alexnet", "hetero-pim", steps=2)
+out.append(plain.result.to_json())
+
+spec = FaultSpec.generate(seed=13, horizon_s=plain.makespan_s, n_events=3)
+faulted = api.simulate("alexnet", "hetero-pim", steps=2, faults=spec, observe=True)
+out.append(faulted.result.to_json())
+
+trace_path = sys.argv[2]
+faulted.save_trace(trace_path)
+validate_chrome_trace(trace_path)
+out.append(open(trace_path).read())
+
+sweep = faults_experiment.run(event_counts=(0, 2, 4), steps=2)
+out.append(faults_experiment.format_result(sweep))
+
+with open(sys.argv[1], "w") as fh:
+    fh.write("\\n".join(out))
+"""
+
+
+def run_mode(name: str, cache_dir: Path, jobs: int, workdir: Path) -> bytes:
+    artifact = workdir / f"{name}.out"
+    trace = workdir / f"{name}.trace.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["REPRO_CACHE"] = "1"
+    env["REPRO_JOBS"] = str(jobs)
+    subprocess.run(
+        [sys.executable, "-c", INNER, str(artifact), str(trace)],
+        check=True,
+        env=env,
+        cwd=REPO,
+    )
+    return artifact.read_bytes()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-determinism-") as tmp:
+        workdir = Path(tmp)
+        cache_a = workdir / "cache-serial"
+        cache_b = workdir / "cache-jobs"
+        serial_cold = run_mode("serial-cold", cache_a, jobs=1, workdir=workdir)
+        jobs_cold = run_mode("jobs4-cold", cache_b, jobs=4, workdir=workdir)
+        warm = run_mode("serial-warm", cache_a, jobs=1, workdir=workdir)
+
+    failures = []
+    if serial_cold != jobs_cold:
+        failures.append("serial-cold vs jobs4-cold")
+    if serial_cold != warm:
+        failures.append("serial-cold vs serial-warm")
+    if failures:
+        print(f"DETERMINISM FAILURE: artifacts differ: {', '.join(failures)}")
+        return 1
+    print(
+        f"determinism OK: {len(serial_cold)} artifact bytes identical across "
+        "serial/jobs=4/warm-cache runs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
