@@ -15,6 +15,7 @@ from __future__ import annotations
 import pathlib
 import time
 
+from repro.experiments.common import write_atomic
 from repro.sim import cache as sim_cache
 from repro.sim.results import canonical_dumps
 
@@ -54,11 +55,11 @@ def pytest_sessionfinish(session, exitstatus):
         },
         "figures": _records,
     }
-    SUMMARY_PATH.write_text(canonical_dumps(summary, indent=2) + "\n")
+    write_atomic(SUMMARY_PATH, canonical_dumps(summary, indent=2) + "\n")
 
 
 def emit(name: str, text: str) -> None:
-    """Print and persist one experiment's rendered output."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    """Print and persist one experiment's rendered output (atomically —
+    a kill mid-benchmark never leaves a truncated artifact)."""
+    write_atomic(RESULTS_DIR / f"{name}.txt", text + "\n")
     print(f"\n===== {name} =====\n{text}\n")

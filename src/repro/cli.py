@@ -6,12 +6,22 @@ Commands:
   :func:`repro.api.simulate` and print the per-step report (optionally
   with an ASCII schedule timeline and/or a Chrome/Perfetto trace file);
 * ``profile`` — Table-I style CPU characterization of a model;
-* ``experiment`` — regenerate one paper table/figure by id;
+* ``experiment`` — regenerate one paper table/figure by id (journaled:
+  an interrupted batch is resumable);
+* ``resume`` — re-run an interrupted ``experiment`` batch; journaled-
+  complete jobs are free cache hits, artifacts come out byte-identical
+  to an uninterrupted run;
+* ``cache`` — inspect (``stats``) or LRU-prune (``prune``) the on-disk
+  simulation result cache;
 * ``trace`` — export a model trace to JSON (``--format ops`` for the raw
   operation trace, ``--format chrome`` for a Chrome Trace Event schedule);
 * ``faults`` — inject a (seeded or file-supplied) fault spec into a run
   and report the resilience overhead against the fault-free baseline;
 * ``models`` / ``configs`` — list available workloads and configurations.
+
+Experiment artifacts print to **stdout** only; progress/journal banners
+go to stderr, so redirected artifacts stay byte-comparable across
+interrupted-and-resumed and uninterrupted runs.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from typing import List, Optional
 
 from . import api, experiments
 from .baselines import CONFIGURATION_ORDER
+from .errors import ExecutionError, Interrupted, PoisonJob
 from .nn.models import available_models, build_model
 from .profiling import WorkloadProfiler
 from .sim.trace_io import export_trace
@@ -37,6 +48,27 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+_SIZE_SUFFIXES = {"K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
+
+
+def _byte_size(text: str) -> int:
+    """Parse a byte budget: plain int or with a K/M/G/T suffix."""
+    raw = text.strip().upper().removesuffix("B")
+    factor = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a size: {text!r} (use e.g. 500000, 500K, 1.5G)"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text!r}")
     return value
 
 
@@ -77,6 +109,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one paper table/figure"
     )
     experiment.add_argument("id", choices=EXPERIMENT_IDS)
+    experiment.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="journal run id (default: generated); pass it to "
+             "'repro resume' after an interruption",
+    )
+
+    resume = sub.add_parser(
+        "resume",
+        help="resume an interrupted experiment batch from its run journal",
+    )
+    resume.add_argument(
+        "run_id", nargs="?", default=None,
+        help="journal run id (default: the most recent run)",
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or prune the simulation result cache"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="hit/miss counters and disk usage")
+    prune = cache_sub.add_parser(
+        "prune", help="evict least-recently-used disk entries to a budget"
+    )
+    prune.add_argument(
+        "--max-bytes", type=_byte_size, required=True, metavar="N",
+        help="keep the disk tier at or below this size "
+             "(plain bytes or K/M/G/T suffix)",
+    )
 
     trace = sub.add_parser("trace", help="export a model trace to JSON")
     trace.add_argument("model", choices=available_models())
@@ -172,10 +232,111 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    module = getattr(experiments, args.id)
-    module.main()
+def _run_journaled_experiment(experiment_id: str, journal) -> int:
+    """Run one experiment module under a journal; artifact on stdout,
+    supervision/progress on stderr."""
+    from .experiments import runner
+
+    module = getattr(experiments, experiment_id)
+    try:
+        with runner.attach_journal(journal):
+            module.main()
+    except Interrupted:
+        print(
+            f"interrupted — completed jobs are journaled and cached; "
+            f"resume with: repro resume {journal.run_id}",
+            file=sys.stderr,
+        )
+        return 130
+    except PoisonJob as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    journal.record_event("complete")
+    supervision = runner.last_supervision()
+    if supervision is not None:
+        print(f"batch: {supervision.summary()}", file=sys.stderr)
     return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments.journal import RunJournal
+
+    try:
+        journal = RunJournal.create(
+            "experiment", {"id": args.id}, run_id=args.run_id
+        )
+    except ExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"run id: {journal.run_id}", file=sys.stderr)
+    try:
+        return _run_journaled_experiment(args.id, journal)
+    finally:
+        journal.close()
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .experiments.journal import RunJournal, latest_run_id
+
+    run_id = args.run_id if args.run_id is not None else latest_run_id()
+    if run_id is None:
+        print("error: no journaled runs to resume", file=sys.stderr)
+        return 1
+    try:
+        journal = RunJournal.load(run_id)
+    except ExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    header = journal.header
+    if header.get("kind") != "experiment":
+        print(
+            f"error: journal {run_id!r} is a {header.get('kind')!r} run, "
+            "not a resumable experiment",
+            file=sys.stderr,
+        )
+        return 1
+    experiment_id = header["spec"]["id"]
+    if experiment_id not in EXPERIMENT_IDS:
+        print(
+            f"error: journal {run_id!r} names unknown experiment "
+            f"{experiment_id!r}",
+            file=sys.stderr,
+        )
+        return 1
+    done = len(journal.completed_fingerprints())
+    state = "complete" if journal.is_complete() else "incomplete"
+    print(
+        f"resuming {run_id}: experiment {experiment_id} "
+        f"({state}, {done} jobs journaled done — cache makes them free)",
+        file=sys.stderr,
+    )
+    try:
+        return _run_journaled_experiment(experiment_id, journal)
+    finally:
+        journal.close()
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .sim import cache as sim_cache
+
+    if args.cache_command == "stats":
+        usage = sim_cache.disk_usage()
+        print(f"cache dir     {sim_cache.cache_dir()}")
+        print(f"disk entries  {usage['disk_entries']}")
+        print(f"disk bytes    {usage['disk_bytes']}")
+        for key, value in sorted(sim_cache.stats().items()):
+            print(f"{key:13s} {value}")
+        return 0
+    if args.cache_command == "prune":
+        outcome = sim_cache.prune(args.max_bytes)
+        print(
+            f"pruned {outcome['removed_entries']} entries "
+            f"({outcome['removed_bytes']} bytes); "
+            f"kept {outcome['kept_entries']} entries "
+            f"({outcome['kept_bytes']} bytes) <= {args.max_bytes}"
+        )
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -247,12 +408,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .experiments import runner
 
         runner.set_jobs(args.jobs)
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "profile":
         return _cmd_profile(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "faults":

@@ -46,3 +46,50 @@ class ProgrammingModelError(ReproError):
 
 class KernelBuildError(ProgrammingModelError):
     """Raised when kernel binary generation (code extraction) fails."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the experiment execution layer (supervised pool, journal).
+
+    Distinct from :class:`SimulationError`: these errors concern the
+    *harness* that runs batches of simulations — worker processes, job
+    scheduling, journaling — never the simulated hardware itself.
+    """
+
+
+class JobTimeout(ExecutionError):
+    """Raised (and recorded) when a job exceeds the per-job watchdog
+    timeout (``REPRO_JOB_TIMEOUT``) on every allowed attempt."""
+
+
+class PoisonJob(ExecutionError):
+    """Raised after a supervised batch completes with quarantined jobs.
+
+    The batch itself finishes — every healthy job's result is cached and
+    journaled — and then this error reports the jobs that exhausted their
+    retry budget.  ``failures`` holds one
+    :class:`~repro.experiments.runner.JobFailure` per quarantined job
+    (fingerprint, failure kind, last exception, attempt count).
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
+class Interrupted(ExecutionError):
+    """Raised when a batch is interrupted (SIGINT/SIGTERM).
+
+    Completed results are already flushed to the cache and journal when
+    this propagates; ``run_id`` (when a journal was active) names the
+    journal to pass to ``repro resume``.
+    """
+
+    def __init__(self, message: str, run_id=None):
+        super().__init__(message)
+        self.run_id = run_id
+
+
+class CacheInconsistency(ExecutionError):
+    """Raised when the result cache contradicts itself mid-batch — e.g. a
+    job the runner just completed and stored cannot be read back."""

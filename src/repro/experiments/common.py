@@ -8,7 +8,10 @@ exposes the report-level view for callers that want observability fields.
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
 
 from .. import api
 from ..api import cached_graph, clear_caches, resolve_configuration  # noqa: F401
@@ -39,6 +42,37 @@ def run_model_on(
     return sim_cache.simulate_cached(
         cached_graph(model), policy, config, steps=steps
     )
+
+
+def write_atomic(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    Every experiment figure/table/summary/trace artifact goes through
+    this helper: a kill at any instant leaves either the previous
+    complete file or the new complete file on disk — never a truncated
+    artifact.  The temp file lives in the target directory so the final
+    rename stays on one filesystem (a cross-device rename is a copy, not
+    atomic).
+    """
+    path = Path(path)
+    parent = path.parent if str(path.parent) else Path(".")
+    parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def run_report_on(

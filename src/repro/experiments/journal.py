@@ -1,0 +1,221 @@
+"""Run journal: append-only JSONL record of batch execution.
+
+Every journaled batch (one ``repro experiment <id>`` invocation, or any
+caller that wraps :func:`repro.experiments.runner.run_jobs` in
+:func:`repro.experiments.runner.attach_journal`) writes a line-oriented
+log under ``<cache-dir>/journal/<run-id>.jsonl``:
+
+* a ``begin`` header naming the run and how to re-run it (the manifest);
+* one ``job`` line per finished job — its content fingerprint, terminal
+  status (``done`` or ``quarantined``) and whether it came from the
+  cache;
+* terminal ``interrupted`` / ``complete`` events.
+
+Each line is one JSON object written with a **single** ``write()`` on an
+``O_APPEND`` descriptor, so concurrent writers and a kill at any byte
+offset leave at worst one truncated *final* line — never interleaved or
+corrupted earlier lines.  The loader tolerates a truncated tail for
+exactly this reason.
+
+The journal is the *manifest* side of crash safety; the *result* side is
+the content-addressed disk cache (:mod:`repro.sim.cache`), which every
+completed job lands in before its journal line is written.  ``repro
+resume <run-id>`` therefore only needs the header to know *what* to
+re-run — every journaled-complete job is a free cache hit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from ..errors import ExecutionError
+from ..sim import cache as sim_cache
+
+#: Journal line-format version, recorded in the ``begin`` header.
+JOURNAL_SCHEMA = 1
+
+
+def journal_dir() -> Path:
+    """Directory holding run journals (beside the result cache tiers)."""
+    return sim_cache.cache_dir() / "journal"
+
+
+def _journal_path(run_id: str) -> Path:
+    if not run_id or "/" in run_id or run_id.startswith("."):
+        raise ExecutionError(f"invalid run id {run_id!r}")
+    return journal_dir() / f"{run_id}.jsonl"
+
+
+def new_run_id() -> str:
+    """Timestamp + pid: unique per process, sortable by start time."""
+    return time.strftime("%Y%m%dT%H%M%S") + f"-{os.getpid()}"
+
+
+def list_runs() -> List[str]:
+    """Known run ids, most recently modified first."""
+    directory = journal_dir()
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in directory.glob("*.jsonl"):
+        try:
+            entries.append((path.stat().st_mtime, path.stem))
+        except OSError:
+            continue
+    return [run_id for _mtime, run_id in sorted(entries, reverse=True)]
+
+
+def latest_run_id() -> Optional[str]:
+    runs = list_runs()
+    return runs[0] if runs else None
+
+
+class RunJournal:
+    """One run's append-only journal (see module docstring for format)."""
+
+    def __init__(self, run_id: str, lines: List[Dict]):
+        self.run_id = run_id
+        self._lines = lines
+        self._fd: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        kind: str,
+        spec: Dict,
+        run_id: Optional[str] = None,
+    ) -> "RunJournal":
+        """Start a new journal; writes the ``begin`` manifest line."""
+        run_id = run_id if run_id is not None else new_run_id()
+        path = _journal_path(run_id)
+        if path.exists():
+            raise ExecutionError(
+                f"journal {run_id!r} already exists; resume it with "
+                f"'repro resume {run_id}' or pick another --run-id"
+            )
+        journal = cls(run_id, [])
+        journal._append(
+            {
+                "event": "begin",
+                "schema": JOURNAL_SCHEMA,
+                "run": run_id,
+                "kind": kind,
+                "spec": spec,
+                "time": time.time(),
+            }
+        )
+        return journal
+
+    @classmethod
+    def load(cls, run_id: str) -> "RunJournal":
+        """Open an existing journal for inspection and/or appending.
+
+        Tolerates a truncated final line (a kill mid-append); raises
+        :class:`ExecutionError` when the journal does not exist or has no
+        readable header.
+        """
+        path = _journal_path(run_id)
+        try:
+            raw = path.read_text()
+        except OSError:
+            known = ", ".join(list_runs()[:5]) or "(none)"
+            raise ExecutionError(
+                f"no journal for run id {run_id!r} under {journal_dir()} "
+                f"(known runs: {known})"
+            )
+        lines: List[Dict] = []
+        for text in raw.splitlines():
+            if not text.strip():
+                continue
+            try:
+                lines.append(json.loads(text))
+            except json.JSONDecodeError:
+                continue  # truncated tail from a mid-append kill
+        if not lines or lines[0].get("event") != "begin":
+            raise ExecutionError(
+                f"journal {run_id!r} has no readable begin header"
+            )
+        return cls(run_id, lines)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            finally:
+                self._fd = None
+
+    # -- writing -------------------------------------------------------
+    def _append(self, record: Dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        data = line.encode() + b"\n"
+        if self._fd is None:
+            path = _journal_path(self.run_id)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+            )
+        os.write(self._fd, data)  # one write: atomic line under O_APPEND
+        self._lines.append(record)
+
+    def record_job(
+        self,
+        fingerprint: str,
+        status: str,
+        *,
+        cached: bool = False,
+        **extra,
+    ) -> None:
+        """Journal one job's terminal status (``done``/``quarantined``)."""
+        record = {
+            "event": "job",
+            "fp": fingerprint,
+            "status": status,
+            "cached": cached,
+        }
+        record.update(extra)
+        self._append(record)
+
+    def record_event(self, name: str, **extra) -> None:
+        """Journal a batch-level event (``interrupted``, ``complete``...)."""
+        record = {"event": name, "time": time.time()}
+        record.update(extra)
+        self._append(record)
+
+    # -- reading -------------------------------------------------------
+    @property
+    def header(self) -> Dict:
+        return self._lines[0]
+
+    @property
+    def lines(self) -> List[Dict]:
+        return list(self._lines)
+
+    def completed_fingerprints(self) -> Set[str]:
+        """Fingerprints of every job journaled ``done``."""
+        return {
+            line["fp"]
+            for line in self._lines
+            if line.get("event") == "job" and line.get("status") == "done"
+        }
+
+    def quarantined_fingerprints(self) -> Set[str]:
+        return {
+            line["fp"]
+            for line in self._lines
+            if line.get("event") == "job"
+            and line.get("status") == "quarantined"
+        }
+
+    def is_complete(self) -> bool:
+        """True when a ``complete`` event was journaled."""
+        return any(line.get("event") == "complete" for line in self._lines)
+
+    def was_interrupted(self) -> bool:
+        return any(
+            line.get("event") == "interrupted" for line in self._lines
+        )

@@ -30,6 +30,91 @@ REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
+class BatchSupervision:
+    """Per-batch supervision counts from the crash-safe experiment runner.
+
+    One record summarizes what the supervised pool did to complete (or
+    abandon) a batch of jobs: how many were served from the cache, how
+    many ran, and every intervention — retries after transient failures,
+    watchdog timeouts, worker-pool crashes/respawns, and jobs quarantined
+    after exhausting their retry budget.  ``repro resume`` and the
+    experiment CLI print this; tests assert on it.
+    """
+
+    submitted: int = 0
+    cached: int = 0
+    completed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    respawns: int = 0
+    quarantined: tuple = ()  # fingerprints/keys of quarantined jobs
+    interrupted: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "cached": self.cached,
+            "completed": self.completed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "respawns": self.respawns,
+            "quarantined": list(self.quarantined),
+            "interrupted": self.interrupted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BatchSupervision":
+        return cls(
+            submitted=int(data.get("submitted", 0)),
+            cached=int(data.get("cached", 0)),
+            completed=int(data.get("completed", 0)),
+            retries=int(data.get("retries", 0)),
+            timeouts=int(data.get("timeouts", 0)),
+            crashes=int(data.get("crashes", 0)),
+            respawns=int(data.get("respawns", 0)),
+            quarantined=tuple(data.get("quarantined", ())),
+            interrupted=bool(data.get("interrupted", False)),
+        )
+
+    def merge(self, other: "BatchSupervision") -> "BatchSupervision":
+        """Accumulate another batch's counts (multi-batch experiments)."""
+        return BatchSupervision(
+            submitted=self.submitted + other.submitted,
+            cached=self.cached + other.cached,
+            completed=self.completed + other.completed,
+            retries=self.retries + other.retries,
+            timeouts=self.timeouts + other.timeouts,
+            crashes=self.crashes + other.crashes,
+            respawns=self.respawns + other.respawns,
+            quarantined=self.quarantined + other.quarantined,
+            interrupted=self.interrupted or other.interrupted,
+        )
+
+    def summary(self) -> str:
+        """One-line human summary (printed to stderr by the CLI)."""
+        parts = [
+            f"{self.submitted} jobs",
+            f"{self.cached} cached",
+            f"{self.completed} run",
+        ]
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.crashes:
+            parts.append(f"{self.crashes} pool crashes")
+        if self.respawns:
+            parts.append(f"{self.respawns} respawns")
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined")
+        if self.interrupted:
+            parts.append("interrupted")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
 class RunReport:
     """Stable observability view of one simulated run."""
 
@@ -184,6 +269,8 @@ class RunReport:
         """Write the Chrome/Perfetto trace to ``path``; returns event count."""
         from .trace import to_chrome_payload
 
+        from ..experiments.common import write_atomic
+
         events = self.trace_events()
         payload = to_chrome_payload(
             events,
@@ -193,5 +280,5 @@ class RunReport:
                 "steps": self.steps,
             },
         )
-        Path(path).write_text(canonical_dumps(payload) + "\n")
+        write_atomic(path, canonical_dumps(payload) + "\n")
         return len(events)

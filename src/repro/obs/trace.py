@@ -287,11 +287,13 @@ def export_chrome_trace(
 
     Returns the number of events written (metadata included).
     """
+    from ..experiments.common import write_atomic
+
     events = build_trace_events(
         timeline, selection=selection, cache_stats=cache_stats
     )
     payload = to_chrome_payload(events, other_data=other_data)
-    Path(path).write_text(canonical_dumps(payload) + "\n")
+    write_atomic(path, canonical_dumps(payload) + "\n")
     return len(events)
 
 

@@ -67,7 +67,14 @@ _ENV_ENABLE = "REPRO_CACHE"
 _memory: Dict[str, RunResult] = {}
 
 #: Hit/miss counters since process start (or the last ``reset_stats``).
-_stats = {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0}
+_stats = {
+    "memory_hits": 0,
+    "disk_hits": 0,
+    "misses": 0,
+    "stores": 0,
+    "pruned_entries": 0,
+    "pruned_bytes": 0,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -230,6 +237,10 @@ def get(fingerprint: str) -> Optional[RunResult]:
         if isinstance(result, RunResult):
             _memory[fingerprint] = result
             _stats["disk_hits"] += 1
+            try:
+                os.utime(path)  # refresh mtime: prune() evicts LRU-first
+            except OSError:
+                pass
             return result
     _stats["misses"] += 1
     return None
@@ -275,8 +286,70 @@ def clear(disk: bool = True) -> None:
                 pass
 
 
+def _disk_entries():
+    """Yield ``(mtime, size, path)`` for every disk-tier entry (all schema
+    namespaces and legacy layouts)."""
+    objects = cache_dir() / "objects"
+    if not objects.is_dir():
+        return
+    for pattern in ("*.json", "*.pkl"):
+        for entry in objects.rglob(pattern):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue  # raced with a concurrent prune/clear
+            yield (stat.st_mtime, stat.st_size, entry)
+
+
+def disk_usage() -> Dict[str, int]:
+    """Disk-tier footprint: ``{"disk_entries": N, "disk_bytes": B}``."""
+    entries = 0
+    total = 0
+    for _mtime, size, _path in _disk_entries():
+        entries += 1
+        total += size
+    return {"disk_entries": entries, "disk_bytes": total}
+
+
+def prune(max_bytes: int) -> Dict[str, int]:
+    """Evict least-recently-used disk entries until the tier fits
+    ``max_bytes``.
+
+    Recency is file mtime — refreshed on every disk hit — so the entries
+    that go first are the ones no run has read for the longest.  The
+    memory tier is untouched (it dies with the process anyway).  Returns
+    ``removed_entries``/``removed_bytes``/``kept_entries``/``kept_bytes``
+    and accumulates the removals into :func:`stats` as ``pruned_entries``
+    / ``pruned_bytes``.
+    """
+    if max_bytes < 0:
+        raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    entries = sorted(_disk_entries())  # oldest mtime first
+    total = sum(size for _m, size, _p in entries)
+    removed = 0
+    removed_bytes = 0
+    for _mtime, size, path in entries:
+        if total <= max_bytes:
+            break
+        try:
+            path.unlink()
+        except OSError:
+            continue
+        total -= size
+        removed += 1
+        removed_bytes += size
+    _stats["pruned_entries"] += removed
+    _stats["pruned_bytes"] += removed_bytes
+    return {
+        "removed_entries": removed,
+        "removed_bytes": removed_bytes,
+        "kept_entries": len(entries) - removed,
+        "kept_bytes": total,
+    }
+
+
 def stats() -> Dict[str, int]:
-    """Snapshot of hit/miss counters (for the benchmark harness)."""
+    """Snapshot of hit/miss/prune counters (for the benchmark harness)."""
     return dict(_stats)
 
 

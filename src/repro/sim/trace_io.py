@@ -75,7 +75,9 @@ def export_trace(graph: Graph, steps: int, path: Union[str, Path]) -> int:
             for t in tasks
         ],
     }
-    Path(path).write_text(json.dumps(payload))
+    from ..experiments.common import write_atomic
+
+    write_atomic(path, json.dumps(payload))
     return len(tasks)
 
 

@@ -175,3 +175,74 @@ class TestFig17:
         data = result["alexnet"]
         assert data.best_scale == 4.0  # paper: 4x most energy-efficient
         assert data.gpu_power_ratio(4.0) > 1.2  # GPU is power-hungry
+
+
+class TestSupervisedRunner:
+    """run_jobs rides the supervised pool: order, tuple forms, journal."""
+
+    def _jobs(self):
+        from repro.experiments.common import (
+            cached_graph,
+            resolve_configuration,
+        )
+
+        config, policy = resolve_configuration("hetero-pim")
+        graph = cached_graph("alexnet")
+        return graph, policy, config
+
+    def test_accepts_4_and_5_tuples(self):
+        from repro.experiments.runner import run_jobs
+
+        graph, policy, config = self._jobs()
+        four = (graph, policy, config, 1)
+        five = (graph, policy, config, 1, None)
+        a, b = run_jobs([four, five])
+        # the trailing None fault slot is fingerprint-identical
+        assert a.to_json() == b.to_json()
+
+    def test_rejects_wrong_arity(self):
+        from repro.experiments.runner import run_jobs
+
+        graph, policy, config = self._jobs()
+        with pytest.raises(ValueError, match="4 or 5 elements"):
+            run_jobs([(graph, policy, config)])
+
+    def test_last_supervision_reports_cache_split(self, tmp_path,
+                                                  monkeypatch):
+        from repro.experiments import runner
+        from repro.sim import cache as sim_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(sim_cache, "_memory", {})
+        graph, policy, config = self._jobs()
+        runner.run_jobs([(graph, policy, config, 1)])
+        first = runner.last_supervision()
+        assert (first.submitted, first.cached) == (1, 0)
+        runner.run_jobs([(graph, policy, config, 1)])
+        second = runner.last_supervision()
+        assert (second.submitted, second.cached) == (1, 1)
+        assert second.completed == 0
+
+    def test_journaled_batch_resumes_from_cache(self, tmp_path,
+                                                monkeypatch):
+        from repro.experiments import runner
+        from repro.experiments.journal import RunJournal
+        from repro.sim import cache as sim_cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setattr(sim_cache, "_memory", {})
+        graph, policy, config = self._jobs()
+        jobs = [(graph, policy, config, s) for s in (1, 2)]
+        journal = RunJournal.create("experiment", {"id": "adhoc"})
+        with runner.attach_journal(journal):
+            runner.run_jobs(jobs)
+        journal.close()
+        assert len(journal.completed_fingerprints()) == 2
+        # a "resumed" process: cold memory tier, same journal
+        sim_cache._memory.clear()
+        resumed = RunJournal.load(journal.run_id)
+        with runner.attach_journal(resumed):
+            runner.run_jobs(jobs)
+        resumed.close()
+        supervision = runner.last_supervision()
+        assert supervision.cached == 2 and supervision.completed == 0

@@ -13,15 +13,24 @@ All three must produce byte-identical artifacts — any drift between
 serial/parallel execution or cold/warm cache is a correctness bug in the
 result cache, the runner, or the simulator's determinism, and fails CI.
 
-Usage: ``PYTHONPATH=src python tools/check_determinism.py``
+``--chaos`` runs the crash-safety gate instead: a journaled
+``repro experiment faults`` batch under ``REPRO_JOBS=4`` is killed
+mid-run (once gracefully with SIGINT, once hard with SIGKILL) as soon as
+its journal shows completed jobs, then picked back up with
+``repro resume`` — and the resumed artifact must be byte-identical to an
+uninterrupted serial baseline.  ``--all`` runs both gates.
+
+Usage: ``PYTHONPATH=src python tools/check_determinism.py [--chaos|--all]``
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -79,7 +88,7 @@ def run_mode(name: str, cache_dir: Path, jobs: int, workdir: Path) -> bytes:
     return artifact.read_bytes()
 
 
-def main() -> int:
+def check_modes() -> int:
     with tempfile.TemporaryDirectory(prefix="repro-determinism-") as tmp:
         workdir = Path(tmp)
         cache_a = workdir / "cache-serial"
@@ -101,6 +110,117 @@ def main() -> int:
         "serial/jobs=4/warm-cache runs"
     )
     return 0
+
+
+# ---------------------------------------------------------------------------
+# chaos: mid-run kill -> repro resume -> byte-identical artifacts
+# ---------------------------------------------------------------------------
+#: Experiment the chaos gate interrupts (small: one model, a handful of
+#: fault-sweep simulations, but routed through the supervised pool).
+CHAOS_EXPERIMENT = "faults"
+
+
+def _cli_env(cache_dir: Path, jobs: int) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["REPRO_CACHE"] = "1"
+    env["REPRO_JOBS"] = str(jobs)
+    env.pop("REPRO_JOB_TIMEOUT", None)
+    return env
+
+
+def _kill_midrun(cache_dir: Path, run_id: str, sig: signal.Signals) -> int:
+    """Start the chaos experiment, kill it once its journal shows progress
+    (completed jobs), and return the exit code."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "experiment",
+            CHAOS_EXPERIMENT,
+            "--run-id",
+            run_id,
+        ],
+        env=_cli_env(cache_dir, jobs=4),
+        cwd=REPO,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    journal = cache_dir / "journal" / f"{run_id}.jsonl"
+    deadline = time.time() + 300
+    while time.time() < deadline and proc.poll() is None:
+        if journal.exists() and '"status":"done"' in journal.read_text():
+            proc.send_signal(sig)
+            break
+        time.sleep(0.05)
+    try:
+        proc.wait(timeout=300)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+    return proc.returncode
+
+
+def check_chaos() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        workdir = Path(tmp)
+        baseline = subprocess.run(
+            [sys.executable, "-m", "repro", "experiment", CHAOS_EXPERIMENT],
+            env=_cli_env(workdir / "cache-serial", jobs=1),
+            cwd=REPO,
+            capture_output=True,
+            check=True,
+        ).stdout
+
+        failures = []
+        scenarios = (
+            ("sigint", signal.SIGINT),
+            ("sigkill", signal.SIGKILL),
+        )
+        for name, sig in scenarios:
+            cache_dir = workdir / f"cache-{name}"
+            code = _kill_midrun(cache_dir, f"chaos-{name}", sig)
+            resumed = subprocess.run(
+                [sys.executable, "-m", "repro", "resume", f"chaos-{name}"],
+                env=_cli_env(cache_dir, jobs=4),
+                cwd=REPO,
+                capture_output=True,
+            )
+            if resumed.returncode != 0:
+                failures.append(
+                    f"{name}: resume exited {resumed.returncode}: "
+                    f"{resumed.stderr.decode(errors='replace')[-300:]}"
+                )
+            elif resumed.stdout != baseline:
+                failures.append(
+                    f"{name}: resumed artifact differs from serial baseline "
+                    f"(killed run exited {code})"
+                )
+            else:
+                print(
+                    f"chaos {name}: killed mid-run (exit {code}), resumed "
+                    f"byte-identical ({len(baseline)} artifact bytes)"
+                )
+    if failures:
+        print("CHAOS FAILURE: " + "; ".join(failures))
+        return 1
+    print("chaos OK: interrupt-and-resume artifacts byte-identical")
+    return 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if args not in ([], ["--chaos"], ["--all"]):
+        print(__doc__)
+        return 2
+    code = 0
+    if args != ["--chaos"]:
+        code = check_modes()
+    if args and code == 0:
+        code = check_chaos()
+    return code
 
 
 if __name__ == "__main__":
