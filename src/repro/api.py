@@ -117,6 +117,7 @@ def simulate(
     base: Optional[SystemConfig] = None,
     observe=None,
     faults=None,
+    validate: Optional[bool] = None,
 ) -> RunReport:
     """Simulate one training run of ``model`` on configuration ``config``.
 
@@ -147,6 +148,15 @@ def simulate(
         graceful degradation) so every training step still completes; the
         fault/recovery log lands on ``report.faults``.  The spec is part
         of the cache fingerprint.
+    validate:
+        Run under the invariant checker (:mod:`repro.validate`).  The
+        simulation executes live with a timeline and every
+        conservation/consistency law is asserted — including equivalence
+        with any previously cached result and with the serialization
+        round-trip — raising :class:`~repro.errors.InvariantViolation`
+        on the first broken one.  A passing run's report carries a
+        ``validation`` summary.  Defaults to the ``REPRO_VALIDATE``
+        environment knob (so CI can validate whole suites unchanged).
     """
     if steps < 1:
         raise ValueError(f"steps must be >= 1, got {steps}")
@@ -156,9 +166,11 @@ def simulate(
         )
     graph = cached_graph(model, batch_size)
     system, policy = resolve_configuration(config, base)
+    if validate is None:
+        validate = sim_cache.validation_enabled()
 
-    before = sim_cache.stats()
-    if observe:
+    validation = None
+    if observe or validate:
         registry = observe if isinstance(observe, MetricsRegistry) else None
         sim = Simulation(
             graph,
@@ -168,15 +180,26 @@ def simulate(
             record_timeline=True,
             observe=registry,
             faults=faults,
+            validate=validate,
         )
+        fingerprint = sim_cache.run_fingerprint(
+            graph, policy, system, steps, faults=faults
+        )
+        # a validated run must agree with whatever the cache would have
+        # served in its place — look that up before overwriting it.  The
+        # lookup stays outside the report's cache-stats window: it is a
+        # checker internal, and counting it would make reports (and the
+        # traces they export) differ between cold and warm caches.
+        prior = sim_cache.get(fingerprint) if validate else None
+        before = sim_cache.stats()
         result = sim.run()
+        if validate:
+            validation = _validation_summary(result, prior)
         # warm the cache: observed runs produce the same result record
-        sim_cache.put(
-            sim_cache.run_fingerprint(graph, policy, system, steps, faults=faults),
-            result,
-        )
-        timeline = sim.timeline
+        sim_cache.put(fingerprint, result)
+        timeline = sim.timeline if observe else None
     else:
+        before = sim_cache.stats()
         result = sim_cache.simulate_cached(
             graph, policy, system, steps=steps, faults=faults
         )
@@ -184,4 +207,33 @@ def simulate(
     after = sim_cache.stats()
     delta = {k: after[k] - before.get(k, 0) for k in after}
 
-    return RunReport(result=result, timeline=timeline, cache_stats=delta)
+    return RunReport(
+        result=result,
+        timeline=timeline,
+        cache_stats=delta,
+        validation=validation,
+    )
+
+
+def _validation_summary(result, prior) -> Dict[str, object]:
+    """Run the cache/serialization equivalence checks for a validated run
+    (the live invariants already ran inside ``Simulation.run``) and build
+    the report's ``validation`` summary."""
+    from .sim.results import RunResult
+    from .validate.invariants import (
+        RESULT_INVARIANTS,
+        SIMULATION_INVARIANTS,
+        check_cache_equivalence,
+    )
+
+    check_cache_equivalence(result, prior, source="result cache")
+    check_cache_equivalence(
+        result,
+        RunResult.from_json(result.to_json()),
+        source="serialization round-trip",
+    )
+    return {
+        "invariants": list(RESULT_INVARIANTS + SIMULATION_INVARIANTS),
+        "cache_equivalence": "checked" if prior is not None else "cold",
+        "passed": True,
+    }

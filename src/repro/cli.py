@@ -17,6 +17,9 @@ Commands:
   operation trace, ``--format chrome`` for a Chrome Trace Event schedule);
 * ``faults`` — inject a (seeded or file-supplied) fault spec into a run
   and report the resilience overhead against the fault-free baseline;
+* ``validate`` — paper-fidelity gate: simulate the Fig 8/9/Table 1
+  experiments (cache-backed) and check every speedup/energy ratio against
+  the golden bands in :mod:`repro.validate.golden`;
 * ``models`` / ``configs`` — list available workloads and configurations.
 
 Experiment artifacts print to **stdout** only; progress/journal banners
@@ -32,10 +35,17 @@ from typing import List, Optional
 
 from . import api, experiments
 from .baselines import CONFIGURATION_ORDER
-from .errors import ExecutionError, Interrupted, PoisonJob
+from .errors import (
+    ExecutionError,
+    FidelityError,
+    Interrupted,
+    InvariantViolation,
+    PoisonJob,
+)
 from .nn.models import available_models, build_model
 from .profiling import WorkloadProfiler
 from .sim.trace_io import export_trace
+from .units import GB, KB, MB, TB
 
 EXPERIMENT_IDS = (
     "table1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12",
@@ -51,7 +61,7 @@ def _positive_int(text: str) -> int:
     return value
 
 
-_SIZE_SUFFIXES = {"K": 1024, "M": 1024**2, "G": 1024**3, "T": 1024**4}
+_SIZE_SUFFIXES = {"K": KB, "M": MB, "G": GB, "T": TB}
 
 
 def _byte_size(text: str) -> int:
@@ -100,6 +110,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-out", metavar="PATH", default=None,
                      help="write the schedule as Chrome Trace Event JSON "
                           "(open in chrome://tracing or ui.perfetto.dev)")
+    run.add_argument("--validate", action="store_true",
+                     help="run under the invariant checker "
+                          "(conservation/consistency laws; see "
+                          "docs/architecture.md §11)")
 
     profile = sub.add_parser("profile", help="CPU characterization (Table I)")
     profile.add_argument("model", choices=available_models())
@@ -181,6 +195,25 @@ def _build_parser() -> argparse.ArgumentParser:
              "Trace Event JSON",
     )
 
+    validate = sub.add_parser(
+        "validate",
+        help="check Fig 8/9/Table 1 numbers against the paper's golden bands",
+    )
+    validate.add_argument(
+        "--models", nargs="+", default=None, choices=available_models(),
+        metavar="MODEL",
+        help="models to gate (default: the three fast ones; "
+             "--full for all five evaluated models)",
+    )
+    validate.add_argument(
+        "--full", action="store_true",
+        help="gate all five evaluated models (slower on a cold cache)",
+    )
+    validate.add_argument(
+        "--quiet", action="store_true",
+        help="print failures only",
+    )
+
     sub.add_parser("models", help="list available training workloads")
     sub.add_parser("configs", help="list evaluated system configurations")
     return parser
@@ -188,14 +221,19 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     observe = bool(args.timeline or args.trace_out)
-    report = api.simulate(
-        args.model,
-        args.config,
-        args.steps if args.steps is not None else 3,
-        batch_size=args.batch_size,
-        frequency_scale=args.frequency_scale,
-        observe=observe,
-    )
+    try:
+        report = api.simulate(
+            args.model,
+            args.config,
+            args.steps if args.steps is not None else 3,
+            batch_size=args.batch_size,
+            frequency_scale=args.frequency_scale,
+            observe=observe,
+            validate=bool(args.validate) or None,
+        )
+    except InvariantViolation as exc:
+        print(f"validation FAILED: {exc}", file=sys.stderr)
+        return 1
     result = report.result
     b = result.step_breakdown
     print(f"{args.model} on {result.config_name} "
@@ -212,6 +250,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if busy:
         lanes = "  ".join(f"{d} {f:.0%}" for d, f in busy.items())
         print(f"  device busy        {lanes}")
+    if report.validation is not None:
+        checked = len(report.validation.get("invariants", ()))
+        print(f"  validation         {checked} invariants ok "
+              f"(cache {report.validation.get('cache_equivalence')})")
     if args.trace_out:
         n = report.save_trace(args.trace_out)
         print(f"  trace              {n} events -> {args.trace_out}")
@@ -224,7 +266,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     profile = WorkloadProfiler().profile(build_model(args.model))
     print(f"{args.model}: step {profile.step_time_s:.3f} s, "
-          f"{profile.total_memory_bytes / 1e9:.2f} GB main-memory traffic")
+          f"{profile.total_memory_bytes / GB:.2f} GB main-memory traffic")
     print(f"\n{'op type':32s} {'time%':>7s} {'mem%':>7s} {'#inv':>5s}")
     for t in profile.top_compute(args.top):
         print(f"{t.op_type:32s} {t.time_share:7.1%} "
@@ -280,7 +322,11 @@ def _cmd_resume(args: argparse.Namespace) -> int:
 
     run_id = args.run_id if args.run_id is not None else latest_run_id()
     if run_id is None:
-        print("error: no journaled runs to resume", file=sys.stderr)
+        print(
+            "error: no journaled runs to resume — start one with "
+            "'repro experiment <id>' first",
+            file=sys.stderr,
+        )
         return 1
     try:
         journal = RunJournal.load(run_id)
@@ -320,8 +366,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     from .sim import cache as sim_cache
 
     if args.cache_command == "stats":
+        cache_path = sim_cache.cache_dir()
         usage = sim_cache.disk_usage()
-        print(f"cache dir     {sim_cache.cache_dir()}")
+        if usage["disk_entries"] == 0:
+            state = "missing" if not cache_path.is_dir() else "empty"
+            print(
+                f"error: result cache at {cache_path} is {state} — run a "
+                "simulation first (e.g. 'repro run alexnet') or point "
+                "REPRO_CACHE_DIR at an existing cache",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"cache dir     {cache_path}")
         print(f"disk entries  {usage['disk_entries']}")
         print(f"disk bytes    {usage['disk_bytes']}")
         for key, value in sorted(sim_cache.stats().items()):
@@ -402,6 +458,38 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .validate import EVAL_MODELS, FAST_MODELS, evaluate, failures
+
+    if args.models:
+        models = tuple(args.models)
+    else:
+        models = EVAL_MODELS if args.full else FAST_MODELS
+    print(
+        f"fidelity gate: {', '.join(models)} over Fig 8/9/Table 1 "
+        "golden bands",
+        file=sys.stderr,
+    )
+    findings = evaluate(models)
+    failed = failures(findings)
+    for finding in findings:
+        if finding.ok and args.quiet:
+            continue
+        print(finding.render())
+    print(
+        f"{len(findings) - len(failed)}/{len(findings)} fidelity checks "
+        "within tolerance"
+    )
+    if failed:
+        print(
+            f"error: {len(failed)} golden band(s) violated — see "
+            "docs/architecture.md §11 for the tolerance policy",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.jobs is not None:
@@ -430,6 +518,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "faults":
         return _cmd_faults(args)
+    if args.command == "validate":
+        try:
+            return _cmd_validate(args)
+        except (InvariantViolation, FidelityError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     if args.command == "models":
         print("\n".join(available_models()))
         return 0

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Tuple
 
 from .errors import HardwareConfigError
-from .units import GB_S, GHZ, MHZ, US
+from .units import GB, GB_S, GHZ, MHZ, US
 
 
 @dataclass(frozen=True)
@@ -70,7 +70,7 @@ class GPUConfig:
     exposed_transfer_fraction: float = 0.35
     #: Device-memory capacity; models whose per-step resident working set
     #: exceeds it swap activations over PCIe each step (vDNN-style).
-    memory_bytes: float = 11 * 1024**3
+    memory_bytes: float = 11 * GB  # capacities are binary; bandwidths (_S) decimal
     #: Fraction of swap traffic not hidden behind computation.
     exposed_swap_fraction: float = 0.35
     kernel_launch_overhead_s: float = 8 * US

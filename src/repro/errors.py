@@ -40,6 +40,35 @@ class SimulationError(ReproError):
     """Raised by the discrete-event engine for invalid event sequences."""
 
 
+class InvariantViolation(SimulationError):
+    """Raised when a simulation breaks a conservation/consistency invariant.
+
+    The runtime invariant checker (:mod:`repro.validate`) asserts
+    accounting laws over every validated run — busy fractions in [0, 1],
+    the occupancy histogram summing to the makespan, energy components
+    summing to the total, dependence-ordered starts, quiescent devices at
+    completion, cache/fresh equivalence.  A violation names the broken
+    ``invariant`` and the offending ``subject`` (op uid, device lane or
+    field) so the failure is actionable, not a bare assert.
+    """
+
+    def __init__(self, invariant: str, subject: str, detail: str):
+        super().__init__(f"invariant {invariant!r} violated by {subject}: {detail}")
+        self.invariant = invariant
+        self.subject = subject
+        self.detail = detail
+
+
+class FidelityError(ReproError):
+    """Raised when a run's numbers drift outside the paper's golden bands.
+
+    The paper-fidelity gate (:mod:`repro.validate.golden`) compares
+    measured speedup/energy ratios against the paper-reported values with
+    explicit per-figure tolerances; ``repro validate`` and
+    ``tools/check_fidelity.py`` raise this when any check fails.
+    """
+
+
 class ProgrammingModelError(ReproError):
     """Raised for misuse of the extended-OpenCL programming model objects."""
 

@@ -26,7 +26,12 @@ from ..sim.timeline import Timeline
 #: Version tag of the report envelope (the nested run result carries its
 #: own ``schema`` field; the two evolve independently).
 #: v2: added ``fault_counts`` (retry/degradation/re-selection totals).
-REPORT_SCHEMA_VERSION = 2
+#: v3: added ``validation`` (invariant-checker summary of validated runs).
+REPORT_SCHEMA_VERSION = 3
+
+#: Envelope versions :meth:`RunReport.from_dict` still reads.  v2 reports
+#: differ from v3 only by the absence of ``validation``, which defaults.
+_READABLE_SCHEMAS = (2, REPORT_SCHEMA_VERSION)
 
 
 @dataclass(frozen=True)
@@ -124,6 +129,12 @@ class RunReport:
     timeline: Optional[Timeline] = None
     #: Simulation-cache statistics for the call that produced this report.
     cache_stats: Optional[Dict[str, int]] = None
+    #: Invariant-checker summary when the run was validated
+    #: (``api.simulate(..., validate=True)``): which invariant groups ran
+    #: and passed.  None for unvalidated runs; a validated run that fails
+    #: raises :class:`~repro.errors.InvariantViolation` instead of
+    #: returning a report.
+    validation: Optional[Dict[str, object]] = None
 
     # -- delegating accessors ------------------------------------------
     @property
@@ -219,6 +230,7 @@ class RunReport:
             "queue_wait_s": self.queue_wait_s,
             "selection": self.selection,
             "fault_counts": self.fault_counts,
+            "validation": self.validation,
             "cache_stats": (
                 dict(sorted(self.cache_stats.items()))
                 if self.cache_stats is not None
@@ -230,14 +242,15 @@ class RunReport:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "RunReport":
         version = data.get("report_schema")
-        if version != REPORT_SCHEMA_VERSION:
+        if version not in _READABLE_SCHEMAS:
             raise SimulationError(
                 f"unsupported RunReport schema {version!r} "
-                f"(expected {REPORT_SCHEMA_VERSION})"
+                f"(expected one of {_READABLE_SCHEMAS})"
             )
         return cls(
             result=RunResult.from_dict(data["run"]),
             cache_stats=data.get("cache_stats"),
+            validation=data.get("validation"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -46,6 +46,12 @@ def sample_counters(op: Op, timing: OpTiming, config: CPUConfig) -> CounterSampl
         + op.cost.bytes_total / CACHE_LINE_BYTES
     )
     llc_misses = op.host_traffic_bytes // CACHE_LINE_BYTES
+    if llc_misses == 0 and (op.host_traffic_bytes > 0 or op.cost.bytes_total > 0):
+        # any op that touches memory misses the LLC at least once (its
+        # first line fill); flooring tiny ops at zero would report zero
+        # main-memory bytes and silently drop them from the memory rank
+        # in offload selection
+        llc_misses = 1
     return CounterSample(
         cycles=cycles, instructions=instructions, llc_misses=llc_misses
     )

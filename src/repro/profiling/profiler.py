@@ -97,7 +97,14 @@ class WorkloadProfiler:
                     op_name=op.name,
                     op_type=op.op_type,
                     time_s=timing.total_s,
-                    memory_bytes=op.host_traffic_bytes,
+                    # host traffic, floored by the counter model's clamped
+                    # LLC misses: an op that touches memory contributes at
+                    # least one cache line to the memory rank (for any op
+                    # moving >= one line the two quantities agree, traffic
+                    # being the larger)
+                    memory_bytes=max(
+                        op.host_traffic_bytes, counters.main_memory_bytes
+                    ),
                     counters=counters,
                 )
             )

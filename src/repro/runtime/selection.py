@@ -97,8 +97,11 @@ def rank_operations(profile: WorkloadProfile) -> List[RankedOp]:
     section III-C describes.
     """
     types = list(profile.by_type)
-    by_time = sorted(types, key=lambda t: t.time_s, reverse=True)
-    by_mem = sorted(types, key=lambda t: t.memory_bytes, reverse=True)
+    # equal-cost types tie-break lexicographically on op_type: the ranks
+    # (and therefore the candidate set) must not depend on profile
+    # insertion order, which varies with dict/topological ordering
+    by_time = sorted(types, key=lambda t: (-t.time_s, t.op_type))
+    by_mem = sorted(types, key=lambda t: (-t.memory_bytes, t.op_type))
     time_rank = {t.op_type: i for i, t in enumerate(by_time)}
     mem_rank = {t.op_type: i for i, t in enumerate(by_mem)}
     ranked = [

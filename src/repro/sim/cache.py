@@ -59,7 +59,9 @@ from .results import RunResult
 #: log, and disk entries live under a per-schema namespace
 #: (``objects/v<N>/``) so entries written by *newer* code are invisible to
 #: older code instead of being misread.
-CACHE_SCHEMA = 3
+# 4: llc_misses clamped >=1 for memory-touching ops feeds the profiler's
+# memory ranks, so selection (and thus results) may differ from v3.
+CACHE_SCHEMA = 4
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_CACHE"
@@ -87,6 +89,14 @@ def cache_dir() -> Path:
 
 def disk_enabled() -> bool:
     return os.environ.get(_ENV_ENABLE, "1") != "0"
+
+
+_ENV_VALIDATE = "REPRO_VALIDATE"
+
+
+def validation_enabled() -> bool:
+    """True when ``REPRO_VALIDATE`` requests invariant-checked runs."""
+    return os.environ.get(_ENV_VALIDATE, "0") not in ("0", "")
 
 
 # ---------------------------------------------------------------------------
@@ -367,6 +377,7 @@ def simulate_cached(
     config: Optional[SystemConfig] = None,
     steps: Optional[int] = None,
     faults=None,
+    validate: Optional[bool] = None,
 ) -> RunResult:
     """Run (or fetch) one simulation, keyed by content fingerprint.
 
@@ -374,6 +385,13 @@ def simulate_cached(
     run that does not need a live :class:`Simulation` object (timelines,
     device introspection).  ``faults`` (a FaultSpec) is part of the
     fingerprint: faulted and fault-free runs cache independently.
+
+    ``validate`` (default: the ``REPRO_VALIDATE`` environment knob) turns
+    on the invariant checker (:mod:`repro.validate.invariants`): cache
+    hits get the result-level checks, misses run the full live-simulation
+    checks plus a serialization round-trip equivalence check (the exact
+    representation the disk tier and the artifacts store), raising
+    :class:`~repro.errors.InvariantViolation` on the first broken law.
     """
     from .simulation import Simulation  # local import avoids a cycle
 
@@ -381,11 +399,30 @@ def simulate_cached(
         from ..config import default_config
 
         config = default_config()
+    if validate is None:
+        validate = validation_enabled()
     fingerprint = run_fingerprint(graph, policy, config, steps, faults=faults)
     result = get(fingerprint)
     if result is None:
         result = Simulation(
-            graph, policy, config=config, steps=steps, faults=faults
+            graph,
+            policy,
+            config=config,
+            steps=steps,
+            faults=faults,
+            validate=validate,
         ).run()
         put(fingerprint, result)
+        if validate:
+            from ..validate.invariants import check_cache_equivalence
+
+            check_cache_equivalence(
+                result,
+                RunResult.from_json(result.to_json()),
+                source="serialization round-trip",
+            )
+    elif validate:
+        from ..validate.invariants import check_result
+
+        check_result(result)
     return result

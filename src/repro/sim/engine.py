@@ -106,6 +106,11 @@ class Engine:
         return sum(1 for e in self._heap if e[_CALLBACK] is not None)
 
     @property
+    def drained(self) -> bool:
+        """True when no live (non-cancelled) event remains queued."""
+        return self.pending_events == 0
+
+    @property
     def events_processed(self) -> int:
         return self._events_processed
 

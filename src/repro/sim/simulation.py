@@ -75,9 +75,16 @@ class Simulation:
         record_timeline: bool = False,
         observe: Optional[MetricsRegistry] = None,
         faults=None,
+        validate: bool = False,
     ):
         self.graph = graph
-        self.timeline: Optional[Timeline] = Timeline() if record_timeline else None
+        #: Invariant checking (see :mod:`repro.validate.invariants`):
+        #: validated runs always record a timeline — the dependence-order
+        #: and timeline-agreement invariants need it.
+        self.validate = bool(validate)
+        self.timeline: Optional[Timeline] = (
+            Timeline() if (record_timeline or self.validate) else None
+        )
         #: Observability registry the run publishes into at collection
         #: time.  The simulator's own accounting is always on (cached
         #: results must not depend on observer settings); a caller-supplied
@@ -237,7 +244,14 @@ class Simulation:
                 f"simulation deadlocked with {len(unfinished)} unfinished "
                 f"tasks, e.g. {sorted(unfinished)[:5]}"
             )
-        return self._collect()
+        result = self._collect()
+        if self.validate:
+            # lazy: repro.validate depends on sim.results; importing it at
+            # module top would cycle through the package __init__
+            from ..validate.invariants import check_simulation
+
+            check_simulation(self, result)
+        return result
 
     @property
     def _min_unfinished_step(self) -> int:

@@ -1,0 +1,54 @@
+"""Validation layer: runtime invariant checker + paper-fidelity gate.
+
+Two independent defenses against silent accounting drift:
+
+* :mod:`repro.validate.invariants` asserts conservation/consistency laws
+  over every validated run (``api.simulate(..., validate=True)``,
+  ``repro run --validate``, ``REPRO_VALIDATE=1``), raising a structured
+  :class:`~repro.errors.InvariantViolation` naming the broken law and the
+  offending op/device.
+* :mod:`repro.validate.golden` pins the paper's reported speedup/energy
+  ratios (Figs 8/9, Table I) with explicit per-figure tolerances, checked
+  by ``repro validate`` and ``tools/check_fidelity.py`` in CI.
+
+See ``docs/architecture.md`` §11 for the invariant list and the golden
+tolerance policy.
+"""
+
+from .golden import (
+    BANDS_BY_NAME,
+    EVAL_MODELS,
+    FAST_MODELS,
+    Finding,
+    GOLDEN_BANDS,
+    GoldenBand,
+    evaluate,
+    failures,
+)
+from .invariants import (
+    RESULT_INVARIANTS,
+    SIMULATION_INVARIANTS,
+    check_cache_equivalence,
+    check_result,
+    check_simulation,
+    iter_result_violations,
+    iter_simulation_violations,
+)
+
+__all__ = [
+    "BANDS_BY_NAME",
+    "EVAL_MODELS",
+    "FAST_MODELS",
+    "Finding",
+    "GOLDEN_BANDS",
+    "GoldenBand",
+    "evaluate",
+    "failures",
+    "RESULT_INVARIANTS",
+    "SIMULATION_INVARIANTS",
+    "check_cache_equivalence",
+    "check_result",
+    "check_simulation",
+    "iter_result_violations",
+    "iter_simulation_violations",
+]

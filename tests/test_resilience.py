@@ -409,3 +409,48 @@ class TestInterruptAndResume:
         resumed = self._run_cli(["resume", "chaos"], chaos_cache, jobs=2)
         assert resumed.returncode == 0, resumed.stderr
         assert resumed.stdout == baseline.stdout
+
+
+class TestFriendlyCliErrors:
+    """Missing/empty state must produce a pointer, not a traceback."""
+
+    def _run_cli(self, args, cache_dir):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    def test_cache_stats_missing_dir_exits_1_with_hint(self, tmp_path):
+        proc = self._run_cli(["cache", "stats"], tmp_path / "nowhere")
+        assert proc.returncode == 1
+        assert "missing" in proc.stderr
+        assert "repro run" in proc.stderr  # actionable next step
+        assert "Traceback" not in proc.stderr
+
+    def test_cache_stats_empty_dir_exits_1_with_hint(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        proc = self._run_cli(["cache", "stats"], empty)
+        assert proc.returncode == 1
+        assert "empty" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_resume_without_journal_exits_1_with_hint(self, tmp_path):
+        proc = self._run_cli(["resume"], tmp_path / "nowhere")
+        assert proc.returncode == 1
+        assert "no journaled runs" in proc.stderr
+        assert "repro experiment" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+    def test_resume_unknown_run_id_exits_1(self, tmp_path):
+        cache = tmp_path / "cache"
+        (cache / "journal").mkdir(parents=True)
+        proc = self._run_cli(["resume", "no-such-run"], cache)
+        assert proc.returncode == 1
+        assert "Traceback" not in proc.stderr

@@ -72,6 +72,34 @@ class TestSelection:
         with pytest.raises(SchedulingError):
             select_candidates(vgg_profile, coverage=1.5)
 
+    def test_equal_cost_ranks_independent_of_insertion_order(self):
+        """Regression: equal-cost types used to keep profile insertion
+        order in the rank sorts, so the candidate set could flip with
+        dict/topological ordering.  Ties now break on op_type."""
+        from repro.profiling.profiler import TypeProfile, WorkloadProfile
+
+        def type_profile(op_type):
+            # two types with byte-identical cost profiles
+            return TypeProfile(
+                op_type=op_type, invocations=3, time_s=2.0,
+                memory_bytes=4096, time_share=0.5, memory_share=0.5,
+            )
+
+        def workload(order):
+            return WorkloadProfile(
+                model_name="tie", step_time_s=4.0,
+                total_memory_bytes=8192, per_op=(),
+                by_type=tuple(type_profile(t) for t in order),
+            )
+
+        forward = rank_operations(workload(("MatMul", "Relu")))
+        reverse = rank_operations(workload(("Relu", "MatMul")))
+        assert forward == reverse
+        # lexicographic tie-break: MatMul < Relu on every rank
+        assert [r.op_type for r in forward] == ["MatMul", "Relu"]
+        assert forward[0].time_rank == 0 and forward[1].time_rank == 1
+        assert forward[0].memory_rank == 0 and forward[1].memory_rank == 1
+
 
 class TestHeteroPolicy:
     @pytest.fixture(scope="class")

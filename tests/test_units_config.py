@@ -1,5 +1,7 @@
 """Units helpers and system-configuration invariants."""
 
+import re
+from pathlib import Path
 
 import pytest
 
@@ -10,13 +12,52 @@ from repro.config import (
     default_config,
 )
 from repro.errors import HardwareConfigError
-from repro.units import GHZ, MHZ, seconds_per_cycle
+from repro.units import (
+    GB,
+    GB_S,
+    GHZ,
+    KB,
+    KB_S,
+    MB,
+    MB_S,
+    MHZ,
+    TB,
+    seconds_per_cycle,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 
 class TestUnits:
     def test_frequency_constants(self):
         assert GHZ == 1e9
         assert MHZ == 1e6
+
+    def test_sizes_are_binary_bandwidths_decimal(self):
+        # the module docstring's convention, spelled out
+        assert (KB, MB, GB, TB) == (1024, 1024**2, 1024**3, 1024**4)
+        assert (KB_S, MB_S, GB_S) == (1e3, 1e6, 1e9)
+        # the ~7% gap the convention exists to guard
+        assert GB / GB_S == pytest.approx(1.0737, abs=1e-3)
+
+    def test_no_raw_binary_exponents_outside_units_module(self):
+        """Lint: spell sizes with KB/MB/GB/TB, not 1024**n or 1 << 10n.
+
+        A raw exponent is where decimal/binary mixups hide; units.py is
+        the single place allowed to define them.
+        """
+        raw = re.compile(r"1024\s*\*\*|<<\s*[123]0\b")
+        offenders = []
+        for path in sorted(SRC.rglob("*.py")):
+            if path.name == "units.py":
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if raw.search(line.split("#", 1)[0]):
+                    offenders.append(f"{path.relative_to(SRC)}:{lineno}")
+        assert not offenders, (
+            "raw binary size exponents (use repro.units constants): "
+            + ", ".join(offenders)
+        )
 
     def test_seconds_per_cycle(self):
         assert seconds_per_cycle(1 * GHZ) == pytest.approx(1e-9)

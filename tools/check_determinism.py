@@ -20,7 +20,12 @@ its journal shows completed jobs, then picked back up with
 ``repro resume`` — and the resumed artifact must be byte-identical to an
 uninterrupted serial baseline.  ``--all`` runs both gates.
 
-Usage: ``PYTHONPATH=src python tools/check_determinism.py [--chaos|--all]``
+``--validate`` runs every mode under the invariant checker
+(``REPRO_VALIDATE=1``, see :mod:`repro.validate`): any conservation or
+cache-equivalence violation fails the child run, and therefore the gate.
+
+Usage: ``PYTHONPATH=src python tools/check_determinism.py
+[--chaos|--all] [--validate]``
 """
 
 from __future__ import annotations
@@ -34,6 +39,9 @@ import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+
+#: Set by ``--validate``: child runs execute with ``REPRO_VALIDATE=1``.
+VALIDATE = False
 
 #: The workload every mode regenerates.  Kept small (seconds, not
 #: minutes) but wide: cache round trips, fault injection with retries /
@@ -79,6 +87,8 @@ def run_mode(name: str, cache_dir: Path, jobs: int, workdir: Path) -> bytes:
     env["REPRO_CACHE_DIR"] = str(cache_dir)
     env["REPRO_CACHE"] = "1"
     env["REPRO_JOBS"] = str(jobs)
+    if VALIDATE:
+        env["REPRO_VALIDATE"] = "1"
     subprocess.run(
         [sys.executable, "-c", INNER, str(artifact), str(trace)],
         check=True,
@@ -127,6 +137,8 @@ def _cli_env(cache_dir: Path, jobs: int) -> dict:
     env["REPRO_CACHE"] = "1"
     env["REPRO_JOBS"] = str(jobs)
     env.pop("REPRO_JOB_TIMEOUT", None)
+    if VALIDATE:
+        env["REPRO_VALIDATE"] = "1"
     return env
 
 
@@ -211,10 +223,16 @@ def check_chaos() -> int:
 
 
 def main() -> int:
+    global VALIDATE
     args = sys.argv[1:]
+    if "--validate" in args:
+        VALIDATE = True
+        args = [a for a in args if a != "--validate"]
     if args not in ([], ["--chaos"], ["--all"]):
         print(__doc__)
         return 2
+    if VALIDATE:
+        print("running with REPRO_VALIDATE=1 (invariant checker on)")
     code = 0
     if args != ["--chaos"]:
         code = check_modes()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""CI paper-fidelity gate: golden-band checks over Fig 8/9/Table 1.
+
+Simulates the paper's evaluation matrix (five system configurations per
+model, cache-backed) and asserts every speedup/energy ratio and Table I
+profiling share against the golden bands in
+:mod:`repro.validate.golden` — the paper-reported ranges with explicit,
+documented tolerances (see ``docs/architecture.md`` §11).
+
+Every simulation in the sweep additionally runs under the invariant
+checker (``REPRO_VALIDATE=1`` semantics): a conservation violation fails
+the gate even if the headline ratios still land inside their bands.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_fidelity.py          # fast models
+    PYTHONPATH=src python tools/check_fidelity.py --full   # all five
+    PYTHONPATH=src python tools/check_fidelity.py --quiet  # failures only
+
+Exit code 0 when all checks pass, 1 on any violated band.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import InvariantViolation  # noqa: E402
+from repro.sim import cache as sim_cache  # noqa: E402
+from repro.validate import (  # noqa: E402
+    EVAL_MODELS,
+    FAST_MODELS,
+    evaluate,
+    failures,
+)
+
+
+def _validated_run(model: str, config: str):
+    """Experiment runner used by the gate: cache-backed + invariant-checked."""
+    from repro.experiments.common import run_model_on
+
+    result = run_model_on(model, config)
+    from repro.validate import check_result
+
+    return check_result(result)
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    quiet = "--quiet" in args
+    full = "--full" in args
+    unknown = [a for a in args if a not in ("--quiet", "--full")]
+    if unknown:
+        print(__doc__)
+        return 2
+    models = EVAL_MODELS if full else FAST_MODELS
+    print(f"fidelity gate over {', '.join(models)}")
+    try:
+        findings = evaluate(models, run=_validated_run)
+    except InvariantViolation as exc:
+        print(f"FIDELITY FAILURE: invariant violated during sweep: {exc}")
+        return 1
+    failed = failures(findings)
+    for finding in findings:
+        if finding.ok and quiet:
+            continue
+        print(finding.render())
+    stats = sim_cache.stats()
+    print(
+        f"{len(findings) - len(failed)}/{len(findings)} checks within "
+        f"tolerance ({stats['memory_hits'] + stats['disk_hits']} cache "
+        f"hits, {stats['misses']} simulated)"
+    )
+    if failed:
+        print(
+            f"FIDELITY FAILURE: {len(failed)} golden band(s) violated — "
+            "if the simulator legitimately changed, re-derive the bands "
+            "per docs/architecture.md §11"
+        )
+        return 1
+    print("fidelity OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
