@@ -27,6 +27,7 @@ importable but warn.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Optional, Tuple
 
 from .config import SystemConfig, default_config
@@ -43,6 +44,18 @@ from .sim.simulation import Simulation
 CONFIGURATIONS = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim", "neurocube")
 
 _graph_cache: Dict[Tuple[str, Optional[int]], Graph] = {}
+
+#: Resolved ``SystemConfig`` instances keyed by (configuration name, base
+#: identity).  Returning the *same* config object per name lets the
+#: downstream id-keyed memoizers (config signatures, cost tables) hit
+#: instead of re-deriving; policies stay fresh per call because
+#: ``prepare()`` mutates them.  Entries tied to an explicit base evict
+#: with it.
+_resolved_config_cache: Dict[Tuple[str, Optional[int]], SystemConfig] = {}
+
+#: Frequency-scaled variants of the default configuration, keyed by scale
+#: (the section VI-D sweep re-resolves the same handful of scales).
+_scaled_base_cache: Dict[float, SystemConfig] = {}
 
 
 def list_models() -> Tuple[str, ...]:
@@ -70,13 +83,27 @@ def resolve_configuration(
     from .baselines import build_configuration, make_neurocube
 
     if config_name == "neurocube":
-        return make_neurocube(base if base is not None else default_config())
-    return build_configuration(config_name, base)
+        system, policy = make_neurocube(
+            base if base is not None else default_config()
+        )
+    else:
+        system, policy = build_configuration(config_name, base)
+    key = (config_name, id(base) if base is not None else None)
+    cached = _resolved_config_cache.get(key)
+    if cached is None:
+        _resolved_config_cache[key] = system
+        if base is not None:
+            weakref.finalize(base, _resolved_config_cache.pop, key, None)
+    else:
+        system = cached
+    return system, policy
 
 
 def clear_caches() -> None:
     """Drop cached graphs and simulation results (memory and disk tiers)."""
     _graph_cache.clear()
+    _resolved_config_cache.clear()
+    _scaled_base_cache.clear()
     sim_cache.clear()
 
 
@@ -118,6 +145,7 @@ def simulate(
     observe=None,
     faults=None,
     validate: Optional[bool] = None,
+    surrogate: bool = False,
 ) -> RunReport:
     """Simulate one training run of ``model`` on configuration ``config``.
 
@@ -157,17 +185,64 @@ def simulate(
         on the first broken one.  A passing run's report carries a
         ``validation`` summary.  Defaults to the ``REPRO_VALIDATE``
         environment knob (so CI can validate whole suites unchanged).
+    surrogate:
+        Answer from the learned cost surrogate (:mod:`repro.surrogate`)
+        instead of simulating: microsecond-scale *estimated* results with
+        declared error bands (``report.surrogate``).  Falls back to exact
+        simulation — recorded on ``report.surrogate["mode"]`` — when no
+        trained model exists, the query is out of the trained domain, or
+        ``observe``/``validate`` demand a real run.  Estimates are never
+        written to the result cache.
     """
     if steps < 1:
         raise ValueError(f"steps must be >= 1, got {steps}")
     if frequency_scale != 1.0:
-        base = (base if base is not None else default_config()).with_frequency_scale(
-            frequency_scale
-        )
+        if base is None:
+            scaled = _scaled_base_cache.get(frequency_scale)
+            if scaled is None:
+                scaled = default_config().with_frequency_scale(frequency_scale)
+                _scaled_base_cache[frequency_scale] = scaled
+            base = scaled
+        else:
+            base = base.with_frequency_scale(frequency_scale)
     graph = cached_graph(model, batch_size)
     system, policy = resolve_configuration(config, base)
     if validate is None:
         validate = sim_cache.validation_enabled()
+
+    surrogate_info = None
+    if surrogate and not (observe or validate):
+        from .surrogate import SurrogateUnavailable, estimate_run
+
+        try:
+            result = estimate_run(
+                graph, policy, system, steps=steps, faults=faults
+            )
+        except SurrogateUnavailable as exc:
+            surrogate_info = {"mode": "exact", "reason": str(exc)}
+        else:
+            metrics = result.metrics or {}
+            surrogate_info = {
+                "mode": "surrogate",
+                "tier": int(metrics.get("surrogate.tier", 0)),
+                "bands": {
+                    "step_time_rel": metrics.get(
+                        "surrogate.band.step_time_rel"
+                    ),
+                    "dynamic_energy_rel": metrics.get(
+                        "surrogate.band.dynamic_energy_rel"
+                    ),
+                    "total_energy_rel": metrics.get(
+                        "surrogate.band.total_energy_rel"
+                    ),
+                },
+            }
+            return RunReport(result=result, surrogate=surrogate_info)
+    elif surrogate:
+        surrogate_info = {
+            "mode": "exact",
+            "reason": "observe/validate requires an exact simulation",
+        }
 
     validation = None
     if observe or validate:
@@ -212,6 +287,7 @@ def simulate(
         timeline=timeline,
         cache_stats=delta,
         validation=validation,
+        surrogate=surrogate_info,
     )
 
 

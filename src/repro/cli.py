@@ -19,7 +19,12 @@ Commands:
   and report the resilience overhead against the fault-free baseline;
 * ``validate`` — paper-fidelity gate: simulate the Fig 8/9/Table 1
   experiments (cache-backed) and check every speedup/energy ratio against
-  the golden bands in :mod:`repro.validate.golden`;
+  the golden bands in :mod:`repro.validate.golden` (a trained cost
+  surrogate's declared error bands print alongside);
+* ``surrogate`` — train (``train``) or evaluate (``eval``) the learned
+  cost surrogate (:mod:`repro.surrogate`) from already-cached simulation
+  results; ``run --surrogate`` / ``experiment --surrogate`` then answer
+  from it;
 * ``models`` / ``configs`` — list available workloads and configurations.
 
 Experiment artifacts print to **stdout** only; progress/journal banners
@@ -114,6 +119,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run under the invariant checker "
                           "(conservation/consistency laws; see "
                           "docs/architecture.md §11)")
+    run.add_argument("--surrogate", action="store_true",
+                     help="answer from the learned cost surrogate "
+                          "(estimated, with error bands) when possible; "
+                          "train one first with 'repro surrogate train'")
 
     profile = sub.add_parser("profile", help="CPU characterization (Table I)")
     profile.add_argument("model", choices=available_models())
@@ -127,6 +136,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--run-id", default=None, metavar="ID",
         help="journal run id (default: generated); pass it to "
              "'repro resume' after an interruption",
+    )
+    experiment.add_argument(
+        "--surrogate", action="store_true",
+        help="answer per-run queries from the learned cost surrogate "
+             "where possible (estimated artifacts, NOT byte-identical "
+             "to exact ones); falls back to simulation per query",
     )
 
     resume = sub.add_parser(
@@ -214,6 +229,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print failures only",
     )
 
+    surrogate = sub.add_parser(
+        "surrogate",
+        help="train/evaluate the learned cost surrogate from cached results",
+    )
+    surrogate_sub = surrogate.add_subparsers(
+        dest="surrogate_command", required=True
+    )
+    surrogate_sub.add_parser(
+        "train",
+        help="fit the surrogate on cached simulation results and save it",
+    )
+    surrogate_sub.add_parser(
+        "eval",
+        help="score the saved surrogate against cached exact results",
+    )
+
     sub.add_parser("models", help="list available training workloads")
     sub.add_parser("configs", help="list evaluated system configurations")
     return parser
@@ -230,14 +261,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             frequency_scale=args.frequency_scale,
             observe=observe,
             validate=bool(args.validate) or None,
+            surrogate=bool(args.surrogate),
         )
     except InvariantViolation as exc:
         print(f"validation FAILED: {exc}", file=sys.stderr)
         return 1
     result = report.result
     b = result.step_breakdown
+    surrogate = report.surrogate
+    if surrogate is not None and surrogate["mode"] == "exact":
+        print(f"surrogate unavailable ({surrogate['reason']}); "
+              "simulated exactly", file=sys.stderr)
     print(f"{args.model} on {result.config_name} "
           f"(PLL {args.frequency_scale:g}x, {result.steps} steps)")
+    if surrogate is not None and surrogate["mode"] == "surrogate":
+        bands = surrogate["bands"]
+        print("  ESTIMATED by the cost surrogate (no simulation ran); "
+              "declared error bands:")
+        print(f"    step time +/-{bands['step_time_rel']:.1%}, "
+              f"dynamic energy +/-{bands['dynamic_energy_rel']:.1%}, "
+              f"total energy +/-{bands['total_energy_rel']:.1%}")
     print(f"  step time          {result.step_time_s * 1e3:10.3f} ms")
     print(f"    operation        {b.operation_s * 1e3:10.3f} ms")
     print(f"    data movement    {b.data_movement_s * 1e3:10.3f} ms")
@@ -311,9 +354,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(f"run id: {journal.run_id}", file=sys.stderr)
+    use_surrogate = bool(getattr(args, "surrogate", False))
+    if use_surrogate:
+        print(
+            "surrogate mode: per-run numbers are estimates with error "
+            "bands, not exact simulations",
+            file=sys.stderr,
+        )
+    from .experiments.common import set_surrogate
+
+    prior = set_surrogate(use_surrogate)
     try:
         return _run_journaled_experiment(args.id, journal)
     finally:
+        set_surrogate(prior)
         journal.close()
 
 
@@ -458,6 +512,45 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_surrogate(args: argparse.Namespace) -> int:
+    from .surrogate import evaluate_from_cache, model_path, train_from_cache
+    from .surrogate.model import TARGETS
+
+    if args.surrogate_command == "train":
+        model, misses = train_from_cache()
+        meta = model.meta
+        print(f"trained on {meta['rows']} cached runs -> {model_path()}")
+        for target in TARGETS:
+            head = model.heads[target]
+            print(f"  {target:24s} in-sample mean "
+                  f"{head['insample_mean_rel']:.2%}, "
+                  f"LOO mean {head['loo_mean_rel']:.2%}, "
+                  f"band +/-{head['band_key_rel']:.1%}")
+        if misses:
+            print(f"  ({len(misses)} training points not cached — run "
+                  "'repro experiment summary' to add them)",
+                  file=sys.stderr)
+        return 0
+    if args.surrogate_command == "eval":
+        outcome = evaluate_from_cache()
+        print(f"evaluated on {outcome['rows']} cached runs")
+        ok = True
+        for target, agg in outcome["aggregate"].items():
+            within = "yes" if agg["within_band"] else "NO"
+            print(f"  {target:24s} mean {agg['mean_rel_error']:.2%}, "
+                  f"max {agg['max_rel_error']:.2%}, "
+                  f"band +/-{agg['band_rel']:.1%}, within band: {within}")
+            if agg["mean_rel_error"] > 0.05 or not agg["within_band"]:
+                ok = False
+        print("PASS (mean error <= 5%, all points within declared bands)"
+              if ok else
+              "FAIL (mean error > 5% or a point outside its declared band)")
+        return 0 if ok else 2
+    raise AssertionError(
+        f"unhandled surrogate command {args.surrogate_command!r}"
+    )
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .validate import EVAL_MODELS, FAST_MODELS, evaluate, failures
 
@@ -480,6 +573,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         f"{len(findings) - len(failed)}/{len(findings)} fidelity checks "
         "within tolerance"
     )
+    _print_surrogate_bands()
     if failed:
         print(
             f"error: {len(failed)} golden band(s) violated — see "
@@ -488,6 +582,24 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _print_surrogate_bands() -> None:
+    """Print the trained surrogate's declared error bands next to the
+    golden-band verdicts (so one gate shows both tolerances); a missing
+    model only notes itself on stderr."""
+    from .surrogate import SurrogateUnavailable, load_model
+    from .surrogate.model import TARGETS
+
+    try:
+        model = load_model()
+    except SurrogateUnavailable as exc:
+        print(f"surrogate error bands: none ({exc})", file=sys.stderr)
+        return
+    bands = ", ".join(
+        f"{t} +/-{model.band_rel(t):.1%}" for t in TARGETS
+    )
+    print(f"surrogate error bands (leave-one-out, declared): {bands}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -522,6 +634,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         try:
             return _cmd_validate(args)
         except (InvariantViolation, FidelityError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if args.command == "surrogate":
+        from .surrogate import SurrogateUnavailable
+
+        try:
+            return _cmd_surrogate(args)
+        except SurrogateUnavailable as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
     if args.command == "models":

@@ -13,7 +13,6 @@ from typing import Dict, Tuple
 
 from ..baselines import make_hetero_pim
 from ..config import default_config
-from ..sim.cache import simulate_cached
 from ..sim.results import RunResult
 from . import runner
 from .common import cached_graph
@@ -42,20 +41,39 @@ def _variant_job(model: str, label: str) -> runner.Job:
     return (cached_graph(model), policy, config, None)
 
 
-def run_variant(model: str, label: str) -> RunResult:
-    """Simulate ``model`` under one RC/OP variant of Hetero PIM (cached)."""
-    return simulate_cached(*_variant_job(model, label))
+def run_variant(model: str, label: str, exact: bool = False) -> RunResult:
+    """Simulate ``model`` under one RC/OP variant of Hetero PIM (cached).
+
+    In surrogate mode (:func:`repro.experiments.common.set_surrogate`)
+    the aggregate step-time/energy targets come from the cost surrogate —
+    the variant grid is part of its training set.  Pass ``exact=True``
+    when the caller needs event-level fields estimates cannot carry
+    (Figure 15 reads pool utilization).
+    """
+    from .common import run_job
+
+    return run_job(*_variant_job(model, label), exact=exact)
 
 
 def run_all_variants(
-    models: Tuple[str, ...]
+    models: Tuple[str, ...], exact: bool = False
 ) -> Dict[str, Dict[str, RunResult]]:
-    # fan the (model x variant) grid over the worker pool; the per-variant
-    # lookups below then hit the warm cache
-    runner.run_jobs(
-        [_variant_job(m, label) for m in models for label, _rc, _op in VARIANTS]
-    )
+    from .common import surrogate_enabled
+
+    if exact or not surrogate_enabled():
+        # fan the (model x variant) grid over the worker pool; the
+        # per-variant lookups below then hit the warm cache
+        runner.run_jobs(
+            [
+                _variant_job(m, label)
+                for m in models
+                for label, _rc, _op in VARIANTS
+            ]
+        )
     return {
-        model: {label: run_variant(model, label) for label, _rc, _op in VARIANTS}
+        model: {
+            label: run_variant(model, label, exact=exact)
+            for label, _rc, _op in VARIANTS
+        }
         for model in models
     }

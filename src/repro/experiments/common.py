@@ -25,6 +25,25 @@ EVAL_MODELS = ("vgg-19", "alexnet", "dcgan", "resnet-50", "inception-v3")
 #: The five system configurations, in figure order.
 EVAL_CONFIGS = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim")
 
+#: When true, :func:`run_model_on` answers from the learned cost surrogate
+#: (:mod:`repro.surrogate`) where it can, falling back to exact simulation
+#: per query.  Off by default: artifacts stay byte-identical unless the
+#: user opts in (``repro experiment --surrogate``).
+_SURROGATE = False
+
+
+def set_surrogate(enabled: bool) -> bool:
+    """Toggle surrogate-estimated experiment runs; returns the old value."""
+    global _SURROGATE
+    old = _SURROGATE
+    _SURROGATE = bool(enabled)
+    return old
+
+
+def surrogate_enabled() -> bool:
+    """Whether experiment runs currently answer from the surrogate."""
+    return _SURROGATE
+
 
 def run_model_on(
     model: str,
@@ -37,11 +56,51 @@ def run_model_on(
     The cache key is a content fingerprint of the resolved (graph, policy,
     config, steps) — see :mod:`repro.sim.cache` — so modified ``base``
     configs are always cached and can never collide with the defaults.
+
+    In surrogate mode (:func:`set_surrogate`) the answer is an *estimated*
+    result from :func:`repro.surrogate.estimate_run` — microseconds
+    instead of a simulation, flagged via ``metrics["surrogate.estimated"]``
+    and never written to the result cache; queries the surrogate cannot
+    answer fall back to the exact path.
     """
     config, policy = resolve_configuration(config_name, base)
+    if _SURROGATE:
+        from ..surrogate import SurrogateUnavailable, estimate_run
+
+        try:
+            return estimate_run(
+                cached_graph(model), policy, config, steps=steps
+            )
+        except SurrogateUnavailable:
+            pass
     return sim_cache.simulate_cached(
         cached_graph(model), policy, config, steps=steps
     )
+
+
+def run_job(
+    graph,
+    policy,
+    config: SystemConfig,
+    steps: Optional[int] = None,
+    exact: bool = False,
+) -> RunResult:
+    """Run one pre-resolved (graph, policy, config) job, cached.
+
+    The raw-job counterpart of :func:`run_model_on` for experiments whose
+    jobs are not zoo-model x named-config points (ablation variants,
+    mixed-workload co-runs).  Honors surrogate mode the same way; pass
+    ``exact=True`` when the caller reads event-level fields only the
+    simulator produces.
+    """
+    if _SURROGATE and not exact:
+        from ..surrogate import SurrogateUnavailable, estimate_run
+
+        try:
+            return estimate_run(graph, policy, config, steps=steps)
+        except SurrogateUnavailable:
+            pass
+    return sim_cache.simulate_cached(graph, policy, config, steps=steps)
 
 
 def write_atomic(path: Union[str, Path], text: str) -> Path:

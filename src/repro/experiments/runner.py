@@ -676,8 +676,15 @@ def prefetch_model_runs(
     Each spec is ``(model, config_name)`` optionally followed by ``base``
     (a :class:`SystemConfig` or None) and ``steps`` — positionally the
     same arguments :func:`repro.experiments.common.run_model_on` takes.
+
+    A no-op in surrogate mode: estimated runs cost microseconds each, so
+    warming the exact-result cache would just re-introduce the
+    simulations the surrogate exists to skip.
     """
-    from .common import cached_graph, resolve_configuration
+    from .common import cached_graph, resolve_configuration, surrogate_enabled
+
+    if surrogate_enabled():
+        return
 
     jobs: List[Job] = []
     for spec in specs:

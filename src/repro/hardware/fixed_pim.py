@@ -36,6 +36,10 @@ class FixedPIMPool:
     _occupancy_s: List[float] = field(
         default_factory=lambda: [0.0] * (OCCUPANCY_BINS + 1)
     )
+    #: Incremental sum of ``_allocations.values()`` — ``busy_units`` is read
+    #: on every allocation event and every integration step, so it is
+    #: maintained on mutation instead of recomputed per access.
+    _busy: int = 0
 
     def __post_init__(self) -> None:
         if self.n_units < 1:
@@ -46,7 +50,7 @@ class FixedPIMPool:
     # ------------------------------------------------------------------
     @property
     def busy_units(self) -> int:
-        return sum(self._allocations.values())
+        return self._busy
 
     @property
     def lost_units(self) -> int:
@@ -79,6 +83,7 @@ class FixedPIMPool:
         if granted > 0:
             self._integrate(now)
             self._allocations[kernel_id] = granted
+            self._busy += granted
         return granted
 
     def expand(self, kernel_id: str, want_total: int, now: float) -> int:
@@ -91,6 +96,7 @@ class FixedPIMPool:
         if extra > 0:
             self._integrate(now)
             self._allocations[kernel_id] = held + extra
+            self._busy += extra
         return self._allocations[kernel_id]
 
     def release(self, kernel_id: str, now: float) -> int:
@@ -98,7 +104,9 @@ class FixedPIMPool:
         if kernel_id not in self._allocations:
             raise SchedulingError(f"kernel {kernel_id!r} holds no units")
         self._integrate(now)  # account busy time before dropping the units
-        return self._allocations.pop(kernel_id)
+        freed = self._allocations.pop(kernel_id)
+        self._busy -= freed
+        return freed
 
     def shrink(self, units: int, now: float) -> List[str]:
         """Permanently remove up to ``units`` units (fault injection).
@@ -116,7 +124,7 @@ class FixedPIMPool:
         revoked: List[str] = []
         while self.busy_units > self.capacity_units:
             kernel_id = next(reversed(self._allocations))
-            self._allocations.pop(kernel_id)
+            self._busy -= self._allocations.pop(kernel_id)
             revoked.append(kernel_id)
         return revoked
 
@@ -130,7 +138,7 @@ class FixedPIMPool:
             )
         elapsed = now - self._last_time
         if elapsed > 0:
-            busy = self.busy_units
+            busy = self._busy
             self._busy_unit_seconds += busy * elapsed
             if busy == 0:
                 self._occupancy_s[0] += elapsed

@@ -27,11 +27,13 @@ from ..sim.timeline import Timeline
 #: own ``schema`` field; the two evolve independently).
 #: v2: added ``fault_counts`` (retry/degradation/re-selection totals).
 #: v3: added ``validation`` (invariant-checker summary of validated runs).
-REPORT_SCHEMA_VERSION = 3
+#: v4: added ``surrogate`` (cost-surrogate mode/bands of the answering
+#: path).
+REPORT_SCHEMA_VERSION = 4
 
-#: Envelope versions :meth:`RunReport.from_dict` still reads.  v2 reports
-#: differ from v3 only by the absence of ``validation``, which defaults.
-_READABLE_SCHEMAS = (2, REPORT_SCHEMA_VERSION)
+#: Envelope versions :meth:`RunReport.from_dict` still reads.  Older
+#: versions differ from v4 only by absent fields, which default.
+_READABLE_SCHEMAS = (2, 3, REPORT_SCHEMA_VERSION)
 
 
 @dataclass(frozen=True)
@@ -135,6 +137,12 @@ class RunReport:
     #: raises :class:`~repro.errors.InvariantViolation` instead of
     #: returning a report.
     validation: Optional[Dict[str, object]] = None
+    #: How a surrogate-requested call was answered
+    #: (``api.simulate(..., surrogate=True)``): ``{"mode": "surrogate",
+    #: "tier": ..., "bands": {...}}`` for an estimate, or
+    #: ``{"mode": "exact", "reason": ...}`` when the call fell back to
+    #: the simulator.  None when the surrogate was never requested.
+    surrogate: Optional[Dict[str, object]] = None
 
     # -- delegating accessors ------------------------------------------
     @property
@@ -231,6 +239,7 @@ class RunReport:
             "selection": self.selection,
             "fault_counts": self.fault_counts,
             "validation": self.validation,
+            "surrogate": self.surrogate,
             "cache_stats": (
                 dict(sorted(self.cache_stats.items()))
                 if self.cache_stats is not None
@@ -251,6 +260,7 @@ class RunReport:
             result=RunResult.from_dict(data["run"]),
             cache_stats=data.get("cache_stats"),
             validation=data.get("validation"),
+            surrogate=data.get("surrogate"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

@@ -9,6 +9,7 @@ accesses per operation, then aggregate by operation type.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -141,3 +142,23 @@ class WorkloadProfiler:
             )
             for t in sorted(times, key=lambda t: times[t], reverse=True)
         ]
+
+
+#: Profiles keyed by (graph identity, CPU config).  ``CPUConfig`` is a
+#: frozen, dict-free dataclass, hence hashable; profiling is a pure
+#: function of (graph, cpu config), so every policy ``prepare()`` across a
+#: figure sweep shares one characterization per pair.  Entries evict with
+#: the graph.
+_profile_cache: Dict[Tuple[int, CPUConfig], WorkloadProfile] = {}
+
+
+def profile_workload(graph: Graph, config: CPUConfig) -> WorkloadProfile:
+    """Memoized :meth:`WorkloadProfiler.profile` for ``graph`` under
+    ``config``."""
+    key = (id(graph), config)
+    profile = _profile_cache.get(key)
+    if profile is None:
+        profile = WorkloadProfiler(config).profile(graph)
+        _profile_cache[key] = profile
+        weakref.finalize(graph, _profile_cache.pop, key, None)
+    return profile

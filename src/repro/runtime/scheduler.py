@@ -22,9 +22,9 @@ from typing import Optional, Tuple
 from ..config import SystemConfig
 from ..nn.graph import Graph
 from ..nn.ops import OffloadClass, Op
-from ..profiling.profiler import WorkloadProfiler
+from ..profiling.profiler import profile_workload
 from ..sim.policy import SchedulingPolicy
-from .selection import SelectionResult, select_candidates
+from .selection import SelectionResult, select_candidates_cached
 
 
 class HeteroPimPolicy(SchedulingPolicy):
@@ -58,10 +58,15 @@ class HeteroPimPolicy(SchedulingPolicy):
         self.selection: Optional[SelectionResult] = None
 
     def prepare(self, graph: Graph, config: SystemConfig) -> None:
-        """Step-1 profiling on the CPU followed by candidate selection."""
-        profiler = WorkloadProfiler(config.cpu)
-        profile = profiler.profile(graph)
-        self.selection = select_candidates(
+        """Step-1 profiling on the CPU followed by candidate selection.
+
+        Both stages are pure functions of (graph, cpu config, coverage)
+        and run through process-wide memoizers, so a sweep re-preparing
+        fresh policy instances over the same workload pays for one
+        characterization.
+        """
+        profile = profile_workload(graph, config.cpu)
+        self.selection = select_candidates_cached(
             profile, coverage=config.runtime.offload_coverage
         )
         if self._cpu_slots_override is None:

@@ -62,58 +62,99 @@ class TimeBreakdown:
 
 
 class ActivityTracker:
-    """Priority-sweep classifier over concurrent activity counters."""
+    """Priority-sweep classifier over concurrent activity counters.
+
+    Counters and buckets are plain scalar attributes rather than dicts —
+    ``begin``/``end`` run once per simulated activity edge and dominate the
+    tracker's cost, so the sweep avoids hashing on the hot path.
+    """
+
+    __slots__ = (
+        "_c_compute",
+        "_c_move",
+        "_c_sync",
+        "_b_compute",
+        "_b_move",
+        "_b_sync",
+        "_idle_s",
+        "_last_time",
+        "_started",
+    )
 
     def __init__(self) -> None:
-        self._counts: Dict[str, int] = {k: 0 for k in _KINDS}
-        self._buckets: Dict[str, float] = {k: 0.0 for k in _KINDS}
+        self._c_compute = 0
+        self._c_move = 0
+        self._c_sync = 0
+        self._b_compute = 0.0
+        self._b_move = 0.0
+        self._b_sync = 0.0
         self._idle_s = 0.0
         self._last_time = 0.0
         self._started = False
 
-    def _classify(self) -> str:
-        for kind in _KINDS:
-            if self._counts[kind] > 0:
-                return kind
-        return SYNC  # dependency-induced idle counts as synchronization
-
     def _advance(self, now: float) -> None:
-        if now < self._last_time:
+        last = self._last_time
+        if now < last:
             raise SimulationError(
-                f"activity time went backwards: {now} < {self._last_time}"
+                f"activity time went backwards: {now} < {last}"
             )
-        elapsed = now - self._last_time
+        elapsed = now - last
         if elapsed > 0:
-            if any(self._counts.values()):
-                self._buckets[self._classify()] += elapsed
+            # priority sweep: computation > data movement > synchronization
+            if self._c_compute > 0:
+                self._b_compute += elapsed
+            elif self._c_move > 0:
+                self._b_move += elapsed
+            elif self._c_sync > 0:
+                self._b_sync += elapsed
+            elif self._started:
+                # nothing in flight: dependency-induced idle counts as
+                # synchronization once the run has started
+                self._b_sync += elapsed
             else:
-                # nothing in flight: only meaningful once the run started
-                if self._started:
-                    self._buckets[SYNC] += elapsed
-                else:
-                    self._idle_s += elapsed
+                self._idle_s += elapsed
         self._last_time = now
 
     def begin(self, kind: str, now: float) -> None:
-        if kind not in self._counts:
+        if kind not in _KINDS:
             raise SimulationError(f"unknown activity kind {kind!r}")
         self._advance(now)
-        self._counts[kind] += 1
+        if kind == COMPUTE:
+            self._c_compute += 1
+        elif kind == DATA_MOVEMENT:
+            self._c_move += 1
+        else:
+            self._c_sync += 1
         self._started = True
 
     def end(self, kind: str, now: float) -> None:
-        if kind not in self._counts:
+        if kind not in _KINDS:
             raise SimulationError(f"unknown activity kind {kind!r}")
         self._advance(now)
-        if self._counts[kind] <= 0:
-            raise SimulationError(f"activity {kind!r} ended more than begun")
-        self._counts[kind] -= 1
+        if kind == COMPUTE:
+            if self._c_compute <= 0:
+                raise SimulationError(
+                    f"activity {kind!r} ended more than begun"
+                )
+            self._c_compute -= 1
+        elif kind == DATA_MOVEMENT:
+            if self._c_move <= 0:
+                raise SimulationError(
+                    f"activity {kind!r} ended more than begun"
+                )
+            self._c_move -= 1
+        else:
+            if self._c_sync <= 0:
+                raise SimulationError(
+                    f"activity {kind!r} ended more than begun"
+                )
+            self._c_sync -= 1
 
     def breakdown(self, now: float) -> TimeBreakdown:
         """Finalize and return the bucket split up to ``now``."""
         self._advance(now)
         return TimeBreakdown(
-            operation_s=self._buckets[COMPUTE],
-            data_movement_s=self._buckets[DATA_MOVEMENT],
-            sync_s=self._buckets[SYNC],
+            operation_s=self._b_compute,
+            data_movement_s=self._b_move,
+            sync_s=self._b_sync,
         )

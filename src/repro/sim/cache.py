@@ -192,6 +192,28 @@ def _encoded_graph_signature(graph: Graph) -> str:
     return encoded
 
 
+#: Encoded SystemConfig per config object.  Configs are frozen dataclasses
+#: shared across a sweep's many runs (the api facade memoizes resolved
+#: instances), so encoding each once removes the dominant per-fingerprint
+#: cost.  Entries evict with the config object, so ids can't go stale.
+_config_sig_cache: Dict[int, str] = {}
+
+
+def config_signature(config: SystemConfig) -> str:
+    """Canonical encoding of every field of ``config`` (memoized by
+    object identity).  Shared by fingerprinting and the vectorized
+    cost-table keying (:mod:`repro.sim.optable`)."""
+    key = id(config)
+    encoded = _config_sig_cache.get(key)
+    if encoded is None:
+        parts = []
+        _encode(config, parts)
+        encoded = "".join(parts)
+        _config_sig_cache[key] = encoded
+        weakref.finalize(config, _config_sig_cache.pop, key, None)
+    return encoded
+
+
 def run_fingerprint(
     graph: Graph,
     policy: SchedulingPolicy,
@@ -206,10 +228,9 @@ def run_fingerprint(
         steps if steps is not None else config.runtime.measured_steps
     )
     parts = [_encoded_graph_signature(graph)]
-    _encode(
-        (CACHE_SCHEMA, policy.signature(), config, effective_steps, faults),
-        parts,
-    )
+    _encode((CACHE_SCHEMA, policy.signature()), parts)
+    parts.append(config_signature(config))
+    _encode((effective_steps, faults), parts)
     return hashlib.sha256("".join(parts).encode()).hexdigest()
 
 

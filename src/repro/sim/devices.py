@@ -58,7 +58,8 @@ class SlotDevice:
     def free_slots(self) -> int:
         # clamped: a kernel running on a just-lost slot drains gracefully,
         # so busy may transiently exceed the effective capacity
-        return max(0, self.effective_slots - self._busy)
+        free = self.slots - self._lost - self._busy
+        return free if free > 0 else 0
 
     def lose_slots(self, n: int) -> int:
         """Permanently remove up to ``n`` slots; returns the actual loss.
@@ -84,7 +85,7 @@ class SlotDevice:
         """Claim ``n`` slots atomically; False if not all available."""
         if n < 1:
             raise SchedulingError(f"device {self.name!r}: acquire {n} slots")
-        if self._busy + n > self.effective_slots:
+        if self._busy + n > self.slots - self._lost:
             return False
         self._integrate()
         self._busy += n
@@ -256,9 +257,16 @@ class FixedPoolExecutor:
         want_units: int,
         on_done: Callable[[], None],
         on_abort: Optional[Callable[[], None]] = None,
+        work: Optional[float] = None,
     ) -> bool:
         """Start a MAC sub-kernel; False when no units are available (or
-        another operation holds the exclusive token)."""
+        another operation holds the exclusive token).
+
+        ``work`` lets callers pass a precomputed :meth:`normalized_work`
+        value (the vectorized cost table batches these up front); it must
+        equal what ``normalized_work(macs, nbytes)`` would return at
+        submission time, so it is only valid while bandwidth is unscaled.
+        """
         if not self.pipeline and self._token_holder not in (None, kernel_id):
             return False
         now = self.engine.now
@@ -266,7 +274,8 @@ class FixedPoolExecutor:
         granted = self.pool.allocate(kernel_id, want, now)
         if granted == 0:
             return False
-        work = self.normalized_work(macs, nbytes)
+        if work is None:
+            work = self.normalized_work(macs, nbytes)
         self._arrivals += 1
         job = _MacJob(
             kernel_id=kernel_id,

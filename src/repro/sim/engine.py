@@ -83,23 +83,42 @@ class Engine:
         budget is reached — the budget guards against runaway feedback)."""
         heap = self._heap
         pop = heapq.heappop
-        while heap:
-            entry = heap[0]
-            if until is not None and entry[_TIME] > until:
-                self.now = until
+        processed = self._events_processed
+        try:
+            if until is None:
+                while heap:
+                    entry = pop(heap)
+                    callback = entry[_CALLBACK]
+                    if callback is None:
+                        continue
+                    self.now = entry[_TIME]
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"event budget exceeded ({max_events}); likely a "
+                            "scheduling livelock"
+                        )
+                    callback()
                 return
-            pop(heap)
-            callback = entry[_CALLBACK]
-            if callback is None:
-                continue
-            self.now = entry[_TIME]
-            self._events_processed += 1
-            if self._events_processed > max_events:
-                raise SimulationError(
-                    f"event budget exceeded ({max_events}); likely a "
-                    "scheduling livelock"
-                )
-            callback()
+            while heap:
+                entry = heap[0]
+                if entry[_TIME] > until:
+                    self.now = until
+                    return
+                pop(heap)
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    continue
+                self.now = entry[_TIME]
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"event budget exceeded ({max_events}); likely a "
+                        "scheduling livelock"
+                    )
+                callback()
+        finally:
+            self._events_processed = processed
 
     @property
     def pending_events(self) -> int:

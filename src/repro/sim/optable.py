@@ -1,0 +1,316 @@
+"""Vectorized per-op cost table (struct-of-arrays over the graph's ops).
+
+One :class:`CostTable` batches every per-op quantity the simulation's hot
+path needs — placement-duration estimates, CPU/GPU/prog timings, fixed- and
+hybrid-kernel phase plans with their dispatch sync costs and normalized
+work — into numpy array math evaluated once per (graph, policy signature,
+system config) and memoized globally.  A simulation over ``steps`` training
+steps then serves ``steps x ops`` scheduling decisions from O(1) lookups
+instead of re-deriving costs per task (the XLA ``ElementaryOpCache``
+pattern, applied to the whole op population at once).
+
+Bit-exactness contract: every array expression mirrors the scalar
+formulas in :mod:`repro.hardware.cpu`, :mod:`repro.hardware.gpu`,
+:mod:`repro.sim.devices` and :mod:`repro.sim.simulation` term for term —
+same association order, same zero guards (``0/x == 0.0`` for the positive
+rates involved), IEEE-754 double throughout — so a table-driven run
+produces byte-identical :class:`~repro.sim.results.RunResult`s to the
+scalar reference engine (``REPRO_ENGINE=scalar``; enforced by the
+hypothesis equivalence sweep in ``tests/test_engine_equivalence.py``).
+
+Scoping (cross-run-leakage fix): tables are keyed by graph identity plus
+the *full* behavioural fingerprint of the run — ``policy.signature()``
+(taken after ``prepare``) and the canonical encoding of the entire
+``SystemConfig`` — so two runs differing only in frequency scale, PIM
+counts or any other knob can never share a table.  Fault-injected runs
+never use a table at all (faults mutate device rates mid-run); entries are
+evicted when their graph is garbage-collected.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SystemConfig
+from ..hardware.cpu import CpuModel
+from ..hardware.gpu import GpuModel
+from ..nn.graph import Graph
+from ..pimcl.kernel import BinaryKind, PhaseKind
+from .cache import config_signature
+from .policy import SchedulingPolicy
+from .tracegen import compile_kernels
+
+try:  # numpy is the container's standard toolchain, but stay importable
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is always present in CI
+    _np = None
+
+#: Tables per live graph: ``{id(graph): {(policy_sig, config_sig): table}}``.
+#: The outer entry dies with the graph (weakref finalizer), so a recycled
+#: ``id()`` can never surface a stale table.
+_TABLES: Dict[int, Dict[tuple, "CostTable"]] = {}
+
+
+class CostTable:
+    """Precomputed per-op costs for one (graph, policy, config)."""
+
+    __slots__ = (
+        "est",
+        "gang",
+        "priority",
+        "places",
+        "cpu",
+        "gpu_total",
+        "prog",
+        "fixed_plan",
+        "hybrid_plan",
+        "staging_s",
+    )
+
+    def __init__(self) -> None:
+        #: ``{(place, id(op)): seconds}`` — the ``_estimate`` universe.
+        self.est: Dict[Tuple[str, int], float] = {}
+        #: ``{id(op): gang}`` — programmable-PIM gang sizes.
+        self.gang: Dict[int, int] = {}
+        self.priority: Dict[int, int] = {}
+        self.places: Dict[int, Tuple[str, ...]] = {}
+        #: ``{id(op): (operation_s, exposed_memory_s)}`` at 1/cpu_slots.
+        self.cpu: Dict[int, Tuple[float, float]] = {}
+        self.gpu_total: Dict[int, float] = {}
+        #: ``{id(op): (flops, full_gang, full_gang_duration_s, traffic)}``.
+        self.prog: Dict[int, Tuple[float, int, float, int]] = {}
+        #: ``{id(op): [(sync_s, macs, bytes_moved, work_unit_s), ...]}``.
+        self.fixed_plan: Dict[int, List[tuple]] = {}
+        #: ``{id(op): [row, ...]}`` where a row is either
+        #: ``("mac", sync_s, macs, bytes_moved, work_unit_s)`` or
+        #: ``("cpx", launch_s, prog_s, cpu_operation_s, cpu_exposed_s,
+        #: bytes_moved)``.
+        self.hybrid_plan: Dict[int, List[tuple]] = {}
+        #: GPU input-staging duration per step (None without a GPU lane).
+        self.staging_s: Optional[float] = None
+
+
+def _build(
+    graph: Graph, policy: SchedulingPolicy, config: SystemConfig
+) -> CostTable:
+    ops = list(graph.ops)
+    n = len(ops)
+    table = CostTable()
+    np = _np
+
+    # ---- raw per-op columns (ints convert to float64 exactly: all are
+    # far below 2**53) -------------------------------------------------
+    mac_flops = np.array([op.cost.mac_flops for op in ops], dtype=np.float64)
+    other_flops = np.array(
+        [op.cost.other_flops for op in ops], dtype=np.float64
+    )
+    macs = np.array([op.cost.macs for op in ops], dtype=np.float64)
+    traffic = np.array([op.traffic_bytes for op in ops], dtype=np.float64)
+    host_traffic = np.array(
+        [op.host_traffic_bytes for op in ops], dtype=np.float64
+    )
+    staging = np.array([op.staging_bytes for op in ops], dtype=np.float64)
+    compute_eff = np.array(
+        [op.info.cpu_compute_eff for op in ops], dtype=np.float64
+    )
+    mem_eff = np.array([op.info.cpu_mem_eff for op in ops], dtype=np.float64)
+    parallelism = [op.cost.parallelism for op in ops]
+
+    # ---- CPU timing at cores_fraction = 1/cpu_slots (CpuModel.op_timing)
+    cpu_cfg = config.cpu
+    fraction = 1.0 / policy.cpu_slots
+    eff_flops = (cpu_cfg.effective_flops * compute_eff) * fraction
+    cpu_flops = mac_flops + other_flops * cpu_cfg.other_flop_penalty
+    cpu_compute = cpu_flops / eff_flops
+    cpu_memory = host_traffic / (cpu_cfg.mem_bandwidth * mem_eff)
+    cpu_total = np.maximum(cpu_compute, cpu_memory)
+    cpu_exposed = np.maximum(0.0, cpu_memory - cpu_compute)
+    cpu_operation = cpu_total - cpu_exposed
+
+    # ---- GPU timing (GpuModel.op_timing) -----------------------------
+    gpu_model = GpuModel(config.gpu, graph.name)
+    gpu_eff = gpu_model.effective_flops
+    gpu_compute = (mac_flops + other_flops) / gpu_eff
+    gpu_compute = gpu_compute + config.gpu.kernel_launch_overhead_s
+    gpu_memory = traffic / config.gpu.mem_bandwidth
+    gpu_total = np.maximum(gpu_compute, gpu_memory)
+
+    # ---- programmable-PIM whole-kernel timing ------------------------
+    prog_cfg = config.prog_pim
+    prog_rate = (
+        prog_cfg.cores_per_pim
+        * config.prog_pim_frequency_hz
+        * prog_cfg.flops_per_core_cycle
+    )
+    prog_penalty = prog_cfg.other_flop_penalty
+    stack_bw = config.stack.bandwidth
+    prog_slots = prog_cfg.n_pims
+    limit = max(1, policy.prog_gang_limit)
+    gangs = [max(1, min(limit, p, prog_slots)) for p in parallelism]
+    gang_arr = np.array(gangs, dtype=np.float64)
+    prog_flops = mac_flops + other_flops * prog_penalty
+    prog_duration = np.maximum(
+        (prog_flops / gang_arr) / prog_rate, traffic / stack_bw
+    )
+
+    # ---- fixed-pool normalized work (FixedPoolExecutor rates) --------
+    fp = config.fixed_pim
+    mac_rate = fp.simd_width * fp.macs_per_lane_cycle * config.pim_frequency_hz
+    byte_rate = stack_bw / fp.reference_units
+    work = np.maximum(macs / mac_rate, traffic / byte_rate)
+    units = np.array(
+        [max(1, min(p, fp.n_units)) for p in parallelism], dtype=np.float64
+    )
+    fixed_est = work / units
+    hybrid_complex = np.maximum(
+        (other_flops * prog_penalty) / prog_rate, staging / stack_bw
+    )
+    host_complex = np.maximum(
+        other_flops / cpu_cfg.effective_flops, staging / cpu_cfg.mem_bandwidth
+    )
+    hybrid_est = fixed_est + hybrid_complex
+    hybrid_host_est = fixed_est + host_complex
+
+    est = table.est
+    cpu_total_l = cpu_total.tolist()
+    gpu_total_l = gpu_total.tolist()
+    prog_duration_l = prog_duration.tolist()
+    fixed_est_l = fixed_est.tolist()
+    hybrid_est_l = hybrid_est.tolist()
+    hybrid_host_est_l = hybrid_host_est.tolist()
+    cpu_operation_l = cpu_operation.tolist()
+    cpu_exposed_l = cpu_exposed.tolist()
+    prog_flops_l = prog_flops.tolist()
+
+    # ---- phase plans (variable-length; tiny Python loops over the same
+    # scalar formulas as Simulation._mac_dispatch_sync_s etc.) ---------
+    kernels = compile_kernels(graph)
+    quota = int(fp.subkernel_macs)
+    host_launch = fp.host_launch_overhead_s
+    per_launch = (
+        fp.pim_launch_overhead_s if policy.recursive_kernels else host_launch
+    )
+    rc = policy.recursive_kernels
+    prog_host_launch = prog_cfg.host_launch_overhead_s
+    pim_launch = fp.pim_launch_overhead_s
+    cpu_full_flops = cpu_cfg.effective_flops
+    cpu_bw = cpu_cfg.mem_bandwidth
+
+    def mac_sync(phase_macs: int, first: bool) -> float:
+        launches = max(1, -(-int(phase_macs) // quota))
+        total = launches * per_launch
+        if first:
+            total += host_launch - per_launch
+        return max(total, 0.0)
+
+    def norm_work(phase_macs: int, nbytes: int) -> float:
+        mac_w = phase_macs / mac_rate if phase_macs else 0.0
+        byte_w = nbytes / byte_rate if nbytes else 0.0
+        return max(mac_w, byte_w)
+
+    def prog_phase(flops: float, nbytes: int) -> float:
+        compute_s = flops / prog_rate if flops else 0.0
+        memory_s = nbytes / stack_bw if nbytes else 0.0
+        return max(compute_s, memory_s)
+
+    for i, op in enumerate(ops):
+        oid = id(op)
+        table.priority[oid] = policy.priority(op)
+        table.places[oid] = policy.placements(op)
+        table.gang[oid] = gangs[i]
+        table.cpu[oid] = (cpu_operation_l[i], cpu_exposed_l[i])
+        table.gpu_total[oid] = gpu_total_l[i]
+        table.prog[oid] = (
+            prog_flops_l[i], gangs[i], prog_duration_l[i], op.traffic_bytes
+        )
+        est[("cpu", oid)] = cpu_total_l[i]
+        est[("gpu", oid)] = gpu_total_l[i]
+        est[("prog", oid)] = prog_duration_l[i]
+        est[("fixed", oid)] = fixed_est_l[i]
+        est[("hybrid", oid)] = hybrid_est_l[i]
+        est[("hybrid_host", oid)] = hybrid_host_est_l[i]
+
+        kernel = kernels[op.name]
+        if kernel.has_binary(BinaryKind.FIXED_FULL):
+            table.fixed_plan[oid] = [
+                (
+                    mac_sync(phase.macs, j == 0),
+                    phase.macs,
+                    phase.bytes_moved,
+                    norm_work(phase.macs, phase.bytes_moved),
+                )
+                for j, phase in enumerate(
+                    kernel.binary(BinaryKind.FIXED_FULL).plan
+                )
+            ]
+        if kernel.has_binary(BinaryKind.PROG):
+            rows: List[tuple] = []
+            for j, phase in enumerate(kernel.binary(BinaryKind.PROG).plan):
+                first = j == 0
+                if phase.kind is PhaseKind.MAC:
+                    rows.append(
+                        (
+                            "mac",
+                            mac_sync(phase.macs, first),
+                            phase.macs,
+                            phase.bytes_moved,
+                            norm_work(phase.macs, phase.bytes_moved),
+                        )
+                    )
+                else:
+                    launch = (
+                        prog_host_launch if (first or not rc) else pim_launch
+                    )
+                    # CPU staging split (CpuModel.staging_timing)
+                    c = (
+                        phase.other_flops / cpu_full_flops
+                        if phase.other_flops
+                        else 0.0
+                    )
+                    m = (
+                        phase.bytes_moved / cpu_bw
+                        if phase.bytes_moved
+                        else 0.0
+                    )
+                    exposed = max(0.0, m - c)
+                    operation = max(c, m) - exposed
+                    rows.append(
+                        (
+                            "cpx",
+                            launch,
+                            prog_phase(
+                                phase.other_flops * prog_penalty,
+                                phase.bytes_moved,
+                            ),
+                            operation,
+                            exposed,
+                            phase.bytes_moved,
+                        )
+                    )
+            table.hybrid_plan[oid] = rows
+
+    if policy.uses_gpu and graph.input_bytes > 0:
+        table.staging_s = gpu_model.exposed_transfer_s(graph)
+    return table
+
+
+def cost_table(
+    graph: Graph, policy: SchedulingPolicy, config: SystemConfig
+) -> Optional[CostTable]:
+    """Memoized table for (graph, prepared policy, config); None if numpy
+    is unavailable (callers then run the scalar reference engine)."""
+    if _np is None:
+        return None
+    gid = id(graph)
+    per_graph = _TABLES.get(gid)
+    if per_graph is None:
+        per_graph = {}
+        _TABLES[gid] = per_graph
+        weakref.finalize(graph, _TABLES.pop, gid, None)
+    key = (policy.signature(), config_signature(config))
+    table = per_graph.get(key)
+    if table is None:
+        table = _build(graph, policy, config)
+        per_graph[key] = table
+    return table

@@ -10,7 +10,11 @@ sync/data-movement/operation breakdown (Fig 8/11), device usage and energy
 
 from __future__ import annotations
 
+import gc
+import os
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from operator import attrgetter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import SystemConfig, default_config
@@ -25,12 +29,25 @@ from ..pimcl.kernel import BinaryKind, PhaseKind
 from .activity import COMPUTE, DATA_MOVEMENT, SYNC, ActivityTracker
 from .devices import FixedPoolExecutor, SlotDevice
 from .engine import Engine
+from .optable import cost_table
 from .policy import SchedulingPolicy
 from .results import RunResult
 from .timeline import Timeline, TimelineEntry
 from .tracegen import TaskSpec, generate_trace
 
 _STAGING_PREFIX = "__staging__"
+
+#: ``REPRO_ENGINE=scalar`` forces the original per-object scalar hot path
+#: (the oracle of the vectorized-engine equivalence sweep); any other
+#: value (or unset) uses the vectorized cost table on fault-free runs.
+_ENV_ENGINE = "REPRO_ENGINE"
+
+_SORT_KEY = attrgetter("sort_key")
+
+#: The three fixed-pool placements share one availability predicate
+#: (``_fixed_available``), so a capacity failure on any of them blocks the
+#: whole group for the rest of the drain round.
+_CANON_PLACE = {"hybrid": "fixed", "hybrid_host": "fixed"}
 
 
 @dataclass(slots=True)
@@ -55,12 +72,20 @@ class _Task:
     #: per-op once prepared) — precomputed to keep ``_try_start`` cheap.
     #: Fault recovery may rewrite this (degradation / re-selection).
     places: Tuple[str, ...] = ()
+    #: ``places`` filtered through the profile-aware fallback guard —
+    #: static while the task is not degraded, computed on first start
+    #: attempt (degraded tasks bypass the guard and use ``places``).
+    allowed: Optional[Tuple[str, ...]] = None
     #: True once fault recovery rerouted this task off its preferred
     #: placement; degraded tasks bypass the profile-aware fallback guard
     #: (completing the step beats the slowdown limit).
     degraded: bool = False
     #: Fixed-pool submission attempts consumed by the retry/backoff loop.
     fault_attempts: int = 0
+    #: Parking generation: heap entries created when the task parked carry
+    #: the then-current value, so bumping it lazily invalidates every
+    #: outstanding entry (a task parks into one heap per placement).
+    park_gen: int = 0
 
 
 class Simulation:
@@ -116,7 +141,7 @@ class Simulation:
             * self.config.pim_frequency_hz,
             byte_rate_per_unit=self.config.stack.bandwidth / fp.reference_units,
             pipeline=policy.operation_pipeline,
-            on_units_freed=self._schedule_drain,
+            on_units_freed=self._units_freed,
         )
         # programmable-PIM effective rates (PLL-scaled with the stack)
         prog_cfg = self.config.prog_pim
@@ -130,14 +155,33 @@ class Simulation:
         self.usage = DeviceUsage()
         self._tasks: Dict[str, _Task] = {}
         self._ready: List[_Task] = []
+        #: Vectorized per-op cost table (see :mod:`repro.sim.optable`):
+        #: used only on fault-free runs (faults derate device rates
+        #: mid-run, invalidating precomputed costs) and disabled by
+        #: ``REPRO_ENGINE=scalar``, which keeps the original scalar code
+        #: paths alive as the equivalence oracle.
+        self._table = (
+            cost_table(graph, policy, self.config)
+            if (
+                faults is None
+                and os.environ.get(_ENV_ENGINE, "").lower() != "scalar"
+            )
+            else None
+        )
         #: Memoized placement-duration estimates: every quantity feeding
         #: ``_estimate`` (device rates, slot counts, op costs) is constant
         #: for the lifetime of one simulation, so estimates are keyed by
         #: (placement, op identity).  Ops live as long as the graph does,
-        #: so the id cannot be reused while the entry is reachable.
-        self._estimate_cache: Dict[Tuple[str, int], float] = {}
+        #: so the id cannot be reused while the entry is reachable.  With a
+        #: cost table the cache starts fully populated (a per-run copy:
+        #: the shared table stays immutable).
+        self._estimate_cache: Dict[Tuple[str, int], float] = (
+            dict(self._table.est) if self._table is not None else {}
+        )
         self._fallback_cache: Dict[Tuple[int, str, str], bool] = {}
-        self._gang_cache: Dict[int, int] = {}
+        self._gang_cache: Dict[int, int] = (
+            dict(self._table.gang) if self._table is not None else {}
+        )
         self._min_step = 0
         self._step_remaining: Dict[int, int] = {}
         self._step_end: Dict[int, float] = {}
@@ -155,6 +199,22 @@ class Simulation:
         }
         self._drain_scheduled = False
         self._drain_rounds = 0
+        #: Canonical placements whose capacity was released since the last
+        #: drain scan consumed the set (the fixed-pool trio collapses to
+        #: "fixed"); gates which parked heaps the next scan considers.
+        self._freed: set = set()
+        #: Tasks that failed a start attempt, parked off the ready list in
+        #: one sort-ordered heap per canonical placement they could use.
+        #: A capacity release re-examines only the best parked task of the
+        #: freed placement instead of re-testing every waiter.  Entries
+        #: are ``(sort_key, park_gen, task)``; sort_key is a unique total
+        #: order, stale entries are dropped lazily on pop (gen mismatch).
+        self._parked: Dict[str, List[tuple]] = {
+            "cpu": [],
+            "gpu": [],
+            "prog": [],
+            "fixed": [],
+        }
         self._tasks_started: Dict[str, int] = {}
         self._queue_wait: Dict[str, float] = {}
         #: Fault-injection state (None on the fault-free fast path).
@@ -177,8 +237,15 @@ class Simulation:
     # ------------------------------------------------------------------
     def _build_tasks(self) -> None:
         specs = generate_trace(self.graph, self.steps)
+        table = self._table
         for spec in specs:
-            priority = self.policy.priority(spec.op)
+            if table is not None:
+                oid = id(spec.op)
+                priority = table.priority[oid]
+                places = table.places[oid]
+            else:
+                priority = self.policy.priority(spec.op)
+                places = self.policy.placements(spec.op)
             self._tasks[spec.uid] = _Task(
                 uid=spec.uid,
                 step=spec.step,
@@ -186,7 +253,7 @@ class Simulation:
                 indeg=len(spec.deps),
                 priority=priority,
                 sort_key=(priority, spec.step, spec.topo_index),
-                places=self.policy.placements(spec.op),
+                places=places,
             )
         for spec in specs:
             for dep in spec.deps:
@@ -209,6 +276,17 @@ class Simulation:
         """One host->device staging pseudo-task per step; the step's entry
         operations wait for it (the minibatch — and any swapped-out
         activations of an over-capacity working set — must be resident)."""
+        # Entry operations (no intra-step dependence) are step-invariant:
+        # an op's intra-step deps are exactly its graph predecessors, so
+        # the set is computed once instead of rescanning every step's
+        # specs (the scan was quadratic in steps x ops).  Iteration stays
+        # in spec order, so dependent order — and thus scheduling — is
+        # unchanged.
+        entry_ops = [
+            spec.uid.split("/", 1)[1]
+            for spec in specs
+            if spec.step == 0 and not any(d.startswith("s0/") for d in spec.deps)
+        ]
         for step in range(self.steps):
             uid = f"s{step}/{_STAGING_PREFIX}"
             staging = _Task(
@@ -216,15 +294,10 @@ class Simulation:
                 sort_key=(0, step, -1),
             )
             self._tasks[uid] = staging
-            prefix = f"s{step}/"
-            for spec in specs:
-                if spec.step != step:
-                    continue
-                has_intra_step_dep = any(d.startswith(prefix) for d in spec.deps)
-                if not has_intra_step_dep:
-                    task = self._tasks[spec.uid]
-                    task.indeg += 1
-                    staging.dependents.append(spec.uid)
+            for op_name in entry_ops:
+                task = self._tasks[f"s{step}/{op_name}"]
+                task.indeg += 1
+                staging.dependents.append(task.uid)
 
     def _task_model(self, task: _Task) -> str:
         if task.spec is None:
@@ -237,7 +310,17 @@ class Simulation:
     def run(self) -> RunResult:
         """Execute the trace to completion and collect metrics."""
         self._schedule_drain()
-        self.engine.run()
+        # The event loop allocates heavily (closures, heap entries) but
+        # creates no cycles needing collection mid-run; pausing the cyclic
+        # GC removes its periodic full-heap scans from the hot loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.engine.run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         unfinished = [t.uid for t in self._tasks.values() if not t.done]
         if unfinished:
             raise SimulationError(
@@ -267,6 +350,33 @@ class Simulation:
         self._drain_scheduled = True
         self.engine.after(0.0, self._drain)
 
+    def _unpark_all(self) -> None:
+        """Return every parked task to the ready list (placement rewrite:
+        the capacity reasoning behind the parking no longer applies)."""
+        ready = self._ready
+        for heap in self._parked.values():
+            for _key, gen, task in heap:
+                if gen == task.park_gen and not task.started:
+                    task.park_gen += 1
+                    ready.append(task)
+            heap.clear()
+
+    def _park(self, task: _Task, places: Tuple[str, ...]) -> None:
+        """Park a task that just failed (or provably would fail) a start
+        attempt: one heap entry per canonical placement, so any placement's
+        release can rediscover it in scheduling order."""
+        task.park_gen += 1
+        entry = (task.sort_key, task.park_gen, task)
+        parked = self._parked
+        for p in places:
+            heappush(parked[_CANON_PLACE.get(p, p)], entry)
+
+    def _units_freed(self) -> None:
+        """Fixed-pool capacity returned (sub-kernel completion, token drop,
+        fault shrink): admit waiting work."""
+        self._freed.add("fixed")
+        self._schedule_drain()
+
     def _drain(self) -> None:
         self._drain_scheduled = False
         self._drain_rounds += 1
@@ -283,7 +393,20 @@ class Simulation:
                     on_dead()  # pool died while queued: degrade, don't hang
                 else:
                     self._fixed_waiters.append((attempt, on_dead))
-        if not self._ready:
+        # Failed start attempts are side-effect-free and every placement's
+        # availability predicate is task-independent (a pure capacity
+        # check), so a task that failed cannot start until capacity is
+        # released on one of its placements.  Such tasks are parked off
+        # the ready list into per-placement heaps; a release marks the
+        # placement freed, and the scan below merges the *best* parked
+        # task of each freed placement with the sorted ready batch instead
+        # of re-testing every waiter.  Scalar semantics are preserved: the
+        # merge visits candidates in exactly the ready-list sort order, a
+        # parked task skipped this round would have failed anyway (its
+        # placements stayed exhausted), and the position check below keeps
+        # the scan single-pass per round like the original drain.
+        freed = self._freed
+        if not self._ready and not freed:
             return
         # Swap the ready list out before iterating: synchronous completions
         # inside _try_start append newly-unblocked tasks to self._ready,
@@ -292,15 +415,122 @@ class Simulation:
         # leftover list is deterministic regardless of insertion order.
         batch = self._ready
         self._ready = []
-        batch.sort(key=lambda t: t.sort_key)
-        leftover = []
-        for task in batch:
-            if task.started:
+        batch.sort(key=_SORT_KEY)
+        leftover: List[_Task] = []
+        depth = self.policy.pipeline_depth
+        parked = self._parked
+        #: Canonical placements proven capacity-exhausted this scan.
+        blocked: set = set()
+        #: Heaps of freed placements still worth pulling from.
+        active: Dict[str, List[tuple]] = {}
+        for p in freed:
+            h = parked[p]
+            if h:
+                active[p] = h
+        freed.clear()
+        i = 0
+        n = len(batch)
+        #: Sort key of the last candidate visited — the merge's position.
+        #: A parked task rediscovered *behind* this position was already
+        #: visited (and failed) at its own position this round; attempting
+        #: it now would double-visit, so it defers to the next round.
+        pos = None
+        while True:
+            # Drop stale heap tops, withdraw exhausted heaps, and find the
+            # best parked candidate among the freed placements.
+            best_place = None
+            best_key = None
+            if active:
+                for p in list(active):
+                    h = active[p]
+                    while h:
+                        top = h[0]
+                        t = top[2]
+                        if t.started or top[1] != t.park_gen:
+                            heappop(h)
+                        else:
+                            break
+                    if not h:
+                        del active[p]
+                    elif best_key is None or h[0][0] < best_key:
+                        best_key = h[0][0]
+                        best_place = p
+            if i < n and (best_key is None or batch[i].sort_key < best_key):
+                task = batch[i]
+                i += 1
+                pos = task.sort_key
+                if task.started:
+                    continue
+                if task.step > self._min_step + depth:
+                    leftover.append(task)
+                    continue
+                places = task.places if task.degraded else task.allowed
+                if blocked and places:
+                    for p in places:
+                        if _CANON_PLACE.get(p, p) not in blocked:
+                            break
+                    else:
+                        # provably would fail: every placement exhausted
+                        self._park(task, places)
+                        continue
+                if self._try_start(task):
+                    task.started = True
+                    if freed:
+                        # a zero-duration activity chain inside the start
+                        # released capacity synchronously: later candidates
+                        # may use it this round, exactly as in the scalar
+                        # single-pass drain
+                        for p in freed:
+                            blocked.discard(p)
+                            h = parked[p]
+                            if h:
+                                active[p] = h
+                        freed.clear()
+                else:
+                    places = task.places if task.degraded else task.allowed
+                    if places:
+                        self._park(task, places)
+                        for p in places:
+                            cp = _CANON_PLACE.get(p, p)
+                            blocked.add(cp)
+                            active.pop(cp, None)
+                    else:  # pragma: no cover - placements are never empty
+                        leftover.append(task)
                 continue
-            if self._admissible(task) and self._try_start(task):
+            if best_place is None:
+                break
+            h = active[best_place]
+            entry = heappop(h)
+            task = entry[2]
+            if pos is not None and best_key < pos:
+                # The placement freed mid-round, after the merge already
+                # passed this task's position — where it was (or would
+                # have been) visited and failed.  Single-pass semantics:
+                # retry from the ready list next round.
+                task.park_gen += 1
+                self._ready.append(task)
+                continue
+            pos = best_key
+            # Parked tasks stay admissible: they passed the pipeline-depth
+            # gate when parked and _min_step only ever advances.
+            if self._try_start(task):
                 task.started = True
+                task.park_gen += 1
+                if freed:
+                    for p in freed:
+                        blocked.discard(p)
+                        hh = parked[p]
+                        if hh:
+                            active[p] = hh
+                    freed.clear()
             else:
-                leftover.append(task)
+                # capacity re-exhausted: stop pulling from its placements
+                heappush(h, entry)
+                places = task.places if task.degraded else task.allowed
+                for p in places:
+                    cp = _CANON_PLACE.get(p, p)
+                    blocked.add(cp)
+                    active.pop(cp, None)
         self._ready.extend(leftover)
 
     def _finish(self, task: _Task) -> None:
@@ -420,58 +650,81 @@ class Simulation:
             self._fallback_cache[key] = cached
         return cached
 
+    def _allowed_places(self, task: _Task) -> Tuple[str, ...]:
+        """``task.places`` filtered through the profile-aware fallback
+        guard (principle 2).  The guard's verdicts are memoized for the
+        whole run, so the surviving list is static per non-degraded task
+        and computed once instead of on every retry round."""
+        places = task.places
+        if not places:  # unplaceable: let the deadlock detector report it
+            task.allowed = ()
+            return ()
+        first = places[0]
+        op = task.spec.op
+        allowed = tuple(
+            p
+            for p in places
+            if p == first or self._fallback_allowed(op, p, first)
+        )
+        task.allowed = allowed
+        return allowed
+
     def _try_start(self, task: _Task) -> bool:
         if task.spec is None:
             self._mark_started(task, "gpu")
             self._start_staging(task)
             return True
         op = task.spec.op
-        places = task.places
+        if task.degraded:
+            # degraded tasks bypass the fallback guard: completing the
+            # step beats the slowdown limit
+            places = task.places
+        else:
+            places = task.allowed
+            if places is None:
+                places = self._allowed_places(task)
         # A deprioritized (co-run tenant) task only consumes *idle* capacity:
         # it never jumps ahead of primary work queued for a device (the
         # ready list is already priority-ordered, so primary tasks get the
         # first claim on freed slots each scheduling round).
         background = task.priority > 0
         for place in places:
-            if (
-                place != places[0]
-                and not task.degraded
-                and not self._fallback_allowed(op, place, places[0])
-            ):
-                continue
-            if background and place == "prog" and self._slot_waiters["prog"]:
-                continue
-            if place == "cpu" and self.cpu.free_slots >= 1:
+            if place == "cpu":
                 if self.cpu.try_acquire():
                     self._mark_started(task, "cpu")
                     self._start_cpu(task)
                     return True
-            if place == "gpu" and self.gpu.try_acquire():
-                self._mark_started(task, "gpu")
-                self._start_gpu(task)
-                return True
-            if place == "prog" and self.prog.free_slots > 0:
-                gang = min(self._prog_gang_size(op), self.prog.free_slots)
-                if self.prog.try_acquire(gang):
-                    self._mark_started(task, "prog")
-                    self._start_prog(task, gang)
+            elif place == "gpu":
+                if self.gpu.try_acquire():
+                    self._mark_started(task, "gpu")
+                    self._start_gpu(task)
                     return True
-            if place == "fixed" and self._fixed_available(task.uid):
-                if not self.fixed.try_take_token(task.uid):
+            elif place == "prog":
+                if background and self._slot_waiters["prog"]:
                     continue
-                self._mark_started(task, "fixed")
-                self._start_fixed(task)
-                return True
-            if place in ("hybrid", "hybrid_host") and self._fixed_available(
-                task.uid
-            ):
-                if not self.fixed.try_take_token(task.uid):
-                    continue
-                self._mark_started(task, "fixed")
-                self._start_hybrid(
-                    task, complex_on="prog" if place == "hybrid" else "cpu"
-                )
-                return True
+                free = self.prog.free_slots
+                if free > 0:
+                    gang = min(self._prog_gang_size(op), free)
+                    if self.prog.try_acquire(gang):
+                        self._mark_started(task, "prog")
+                        self._start_prog(task, gang)
+                        return True
+            elif place == "fixed":
+                if self._fixed_available(task.uid):
+                    if not self.fixed.try_take_token(task.uid):
+                        continue
+                    self._mark_started(task, "fixed")
+                    self._start_fixed(task)
+                    return True
+            elif place in ("hybrid", "hybrid_host"):
+                if self._fixed_available(task.uid):
+                    if not self.fixed.try_take_token(task.uid):
+                        continue
+                    self._mark_started(task, "fixed")
+                    self._start_hybrid(
+                        task, complex_on="prog" if place == "hybrid" else "cpu"
+                    )
+                    return True
         return False
 
     def _mark_started(self, task: _Task, device: str) -> None:
@@ -506,6 +759,7 @@ class Simulation:
 
     def _release_slot(self, device: SlotDevice) -> None:
         device.release()
+        self._freed.add(device.name)
         waiters = self._slot_waiters[device.name]
         while waiters and device.free_slots > 0:
             attempt, on_dead = waiters.pop(0)
@@ -534,14 +788,24 @@ class Simulation:
     # execution recipes
     # ------------------------------------------------------------------
     def _start_staging(self, task: _Task) -> None:
-        duration = self.gpu_model.exposed_transfer_s(self.graph)
+        table = self._table
+        if table is not None and table.staging_s is not None:
+            duration = table.staging_s
+        else:
+            duration = self.gpu_model.exposed_transfer_s(self.graph)
         self.usage.external_bytes += self.graph.input_bytes
         self._timed(DATA_MOVEMENT, duration, lambda: self._finish(task))
 
     def _start_cpu(self, task: _Task) -> None:
         op = task.spec.op
-        fraction = 1.0 / self.policy.cpu_slots
-        timing = self.cpu_model.op_timing(op, cores_fraction=fraction)
+        table = self._table
+        if table is not None:
+            operation_s, exposed_s = table.cpu[id(op)]
+        else:
+            fraction = 1.0 / self.policy.cpu_slots
+            timing = self.cpu_model.op_timing(op, cores_fraction=fraction)
+            operation_s = timing.operation_s
+            exposed_s = timing.exposed_memory_s
         self.usage.external_bytes += op.host_traffic_bytes
 
         def _after_compute() -> None:
@@ -549,20 +813,25 @@ class Simulation:
                 self._release_slot(self.cpu)
                 self._finish(task)
 
-            self._timed(DATA_MOVEMENT, timing.exposed_memory_s, _done)
+            self._timed(DATA_MOVEMENT, exposed_s, _done)
 
-        self._timed(COMPUTE, timing.operation_s, _after_compute)
+        self._timed(COMPUTE, operation_s, _after_compute)
 
     def _start_gpu(self, task: _Task) -> None:
         op = task.spec.op
-        timing = self.gpu_model.op_timing(op)
+        table = self._table
+        if table is not None:
+            total_s = table.gpu_total[id(op)]
+        else:
+            total_s = self.gpu_model.op_timing(op).total_s
         self.usage.gpu_bytes += op.traffic_bytes
 
         def _done() -> None:
             self.gpu.release()
+            self._freed.add("gpu")
             self._finish(task)
 
-        self._timed(COMPUTE, timing.total_s, _done)
+        self._timed(COMPUTE, total_s, _done)
 
     def _prog_phase_duration(self, flops: float, nbytes: float) -> float:
         compute_s = flops / self._prog_flops_per_pim if flops else 0.0
@@ -593,13 +862,26 @@ class Simulation:
         section VI); the heterogeneous system uses a single PIM.
         """
         op = task.spec.op
-        flops = op.cost.mac_flops + op.cost.other_flops * self._prog_other_penalty
-        duration = self._prog_phase_duration(flops / gang, op.traffic_bytes)
+        table = self._table
+        if table is not None:
+            flops, full_gang, full_duration, traffic = table.prog[id(op)]
+            duration = (
+                full_duration
+                if gang == full_gang
+                else self._prog_phase_duration(flops / gang, traffic)
+            )
+        else:
+            flops = (
+                op.cost.mac_flops
+                + op.cost.other_flops * self._prog_other_penalty
+            )
+            duration = self._prog_phase_duration(flops / gang, op.traffic_bytes)
         self.usage.internal_bytes += op.traffic_bytes
 
         def _after_launch() -> None:
             def _done() -> None:
                 self.prog.release(gang)
+                self._freed.add("prog")
                 self._drain_prog_waiters()
                 self._finish(task)
 
@@ -646,7 +928,13 @@ class Simulation:
         return max(total, 0.0)
 
     def _submit_mac(
-        self, task: _Task, macs: int, nbytes: int, want: int, on_done: Callable[[], None]
+        self,
+        task: _Task,
+        macs: int,
+        nbytes: int,
+        want: int,
+        on_done: Callable[[], None],
+        work: Optional[float] = None,
     ) -> None:
         """Submit one MAC sub-kernel, waiting for units if necessary.
 
@@ -671,7 +959,8 @@ class Simulation:
 
         def attempt() -> bool:
             started = self.fixed.try_submit(
-                uid, macs, nbytes, want, wrapped_done, on_abort=on_abort
+                uid, macs, nbytes, want, wrapped_done, on_abort=on_abort,
+                work=work,
             )
             if started:
                 self.tracker.begin(COMPUTE, self.engine.now)
@@ -738,6 +1027,10 @@ class Simulation:
         task.device = None
         task.degraded = True
         task.places = places
+        task.allowed = None
+        # the task re-enters the ready list directly; invalidate any heap
+        # entries left from a pre-degradation parking
+        task.park_gen += 1
         task.ready_s = now
         task.fault_attempts = 0
         self._ready.append(task)
@@ -795,14 +1088,45 @@ class Simulation:
             elif "cpu" not in places:
                 places = places + ("cpu",)
             task.places = places
+            task.allowed = None
             task.degraded = True
             retargeted += 1
-        if retargeted and self._injector is not None:
-            self._injector.log_reselection(self.engine.now, retargeted)
+        if retargeted:
+            # rewritten placements void any blocked/parked reasoning (a
+            # parked task may have gained a never-tested placement)
+            self._unpark_all()
+            if self._injector is not None:
+                self._injector.log_reselection(self.engine.now, retargeted)
 
     def _start_fixed(self, task: _Task) -> None:
         """FIXED-class op: host-coordinated MAC chunks on the pool."""
         op = task.spec.op
+        table = self._table
+        if table is not None:
+            rows = table.fixed_plan[id(op)]
+            want = op.cost.parallelism
+            n = len(rows)
+            self.usage.internal_bytes += op.traffic_bytes
+            self.fixed.window_enter()
+
+            def next_row(i: int) -> None:
+                if i >= n:
+                    self.fixed.drop_token(task.uid)
+                    self.fixed.window_exit()
+                    self._finish(task)
+                    return
+                sync_s, macs, nbytes, work = rows[i]
+
+                def row_launched() -> None:
+                    self._submit_mac(
+                        task, macs, nbytes, want,
+                        lambda: next_row(i + 1), work=work,
+                    )
+
+                self._timed(SYNC, sync_s, row_launched)
+
+            next_row(0)
+            return
         plan = task.spec.kernel.binary(BinaryKind.FIXED_FULL).plan
         phases = list(plan)
         self.usage.internal_bytes += op.traffic_bytes
@@ -842,6 +1166,9 @@ class Simulation:
         kernels — section IV-C).
         """
         op = task.spec.op
+        if self._table is not None:
+            self._start_hybrid_fast(task, complex_on)
+            return
         plan = task.spec.kernel.binary(BinaryKind.PROG).plan
         phases = list(plan)
         rc = self.policy.recursive_kernels
@@ -885,6 +1212,76 @@ class Simulation:
             self._timed(SYNC, launch, after_launch)
 
         next_phase(0, True)
+
+    def _start_hybrid_fast(self, task: _Task, complex_on: str) -> None:
+        """Table-driven :meth:`_start_hybrid`: phase launch/duration costs
+        come precomputed from the cost table (same continuation structure,
+        so the event stream — and every metric — is identical)."""
+        op = task.spec.op
+        rows = self._table.hybrid_plan[id(op)]
+        want = op.cost.parallelism
+        n = len(rows)
+        self.fixed.window_enter()
+
+        def next_row(i: int) -> None:
+            if i >= n:
+                self.fixed.drop_token(task.uid)
+                self.fixed.window_exit()
+                self._finish(task)
+                return
+            row = rows[i]
+
+            def row_launched() -> None:
+                if row[0] == "cpx":
+                    self._run_complex_fast(
+                        row, complex_on, lambda: next_row(i + 1)
+                    )
+                else:
+                    self.usage.internal_bytes += row[3]
+                    self._submit_mac(
+                        task, row[2], row[3], want,
+                        lambda: next_row(i + 1), work=row[4],
+                    )
+
+            self._timed(SYNC, row[1], row_launched)
+
+        next_row(0)
+
+    def _run_complex_fast(
+        self, row: tuple, complex_on: str, then: Callable[[], None]
+    ) -> None:
+        """One precomputed COMPLEX phase (fault-free: the programmable PIM
+        can never be dead here, so no degradation hooks are attached)."""
+        nbytes = row[5]
+        if complex_on == "prog":
+            duration = row[2]
+
+            def run_on_prog() -> None:
+                self.usage.internal_bytes += nbytes
+
+                def done() -> None:
+                    self._release_slot(self.prog)
+                    then()
+
+                self._timed(COMPUTE, duration, done)
+
+            self._acquire_slot(self.prog, run_on_prog)
+            return
+        operation_s = row[3]
+        exposed_s = row[4]
+        self.usage.external_bytes += nbytes
+
+        def run_on_cpu() -> None:
+            def _after_compute() -> None:
+                def done() -> None:
+                    self._release_slot(self.cpu)
+                    then()
+
+                self._timed(DATA_MOVEMENT, exposed_s, done)
+
+            self._timed(COMPUTE, operation_s, _after_compute)
+
+        self._acquire_slot(self.cpu, run_on_cpu)
 
     def _run_complex_phase(
         self,

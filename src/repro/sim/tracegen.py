@@ -26,6 +26,12 @@ from ..pimcl.kernel import Kernel
 #: graph is garbage-collected, so an ``id()`` can never be observed stale.
 _kernel_cache: Dict[int, Dict[str, Kernel]] = {}
 
+#: Unrolled-trace cache, keyed by (graph identity, steps).  TaskSpecs are
+#: immutable, so figure sweeps re-simulating the same graph share one
+#: unroll; callers get a fresh list object (the specs themselves are
+#: shared).  Evicted with the graph, like the kernel cache.
+_trace_cache: Dict[Tuple[int, int], List["TaskSpec"]] = {}
+
 
 def task_uid(step: int, op_name: str) -> str:
     return f"s{step}/{op_name}"
@@ -85,6 +91,11 @@ def generate_trace(
     """
     if steps < 1:
         raise SimulationError(f"need at least one step, got {steps}")
+    cache_key = (id(graph), steps) if kernels is None else None
+    if cache_key is not None:
+        cached = _trace_cache.get(cache_key)
+        if cached is not None:
+            return list(cached)
     if kernels is None:
         kernels = compile_kernels(graph)
     topo = graph.topological_order()
@@ -112,6 +123,10 @@ def generate_trace(
                     topo_index=topo_index[op.name],
                 )
             )
+    if cache_key is not None:
+        _trace_cache[cache_key] = tasks
+        weakref.finalize(graph, _trace_cache.pop, cache_key, None)
+        return list(tasks)
     return tasks
 
 

@@ -1,0 +1,68 @@
+"""Learned cost surrogate over cached simulation results.
+
+The exact simulator answers "how long / how much energy does one training
+step take on this system?" by replaying every operation event; the
+surrogate answers the same question in microseconds from a tiny ridge
+regression fitted to *already-cached* :class:`~repro.sim.results.RunResult`
+records.  The features are the same per-op cost estimates the vectorized
+engine precomputes (:mod:`repro.sim.optable`) — lane work sums, bottleneck
+bounds, traffic-over-bandwidth terms, policy flags — so a prediction needs
+no simulation at all, only the memoized cost table.
+
+Contract:
+
+* the exact simulator remains the source of truth — the surrogate trains
+  on its cached outputs and is validated against them
+  (``repro surrogate eval``);
+* every prediction carries an **error band** (the model's leave-one-out
+  relative error, inflated 5%), reported next to the value;
+* estimated results are **never** written into the result cache, and the
+  surrogate is off by default: artifacts produced without ``--surrogate``
+  are byte-identical to a build without this package;
+* out-of-domain queries (no trained model, fault-injected runs when the
+  training set had none) raise :class:`SurrogateUnavailable` so callers
+  fall back to exact simulation.
+
+Entry points: :func:`train_from_cache` / :func:`evaluate_from_cache`
+(the ``repro surrogate`` CLI), :func:`estimate_run`
+(``api.simulate(..., surrogate=True)`` and the experiment ``--surrogate``
+hooks), :func:`load_model` / :func:`model_path` (persistence under the
+result cache's directory).
+"""
+
+from __future__ import annotations
+
+from .dataset import (
+    STANDARD_GRID,
+    collect_rows,
+    evaluate_from_cache,
+    train_from_cache,
+)
+from .errors import SurrogateUnavailable
+from .estimate import estimate_run
+from .features import FEATURE_NAMES, featurize
+from .model import (
+    TARGETS,
+    SurrogateModel,
+    fit,
+    load_model,
+    model_path,
+    save_model,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "STANDARD_GRID",
+    "SurrogateModel",
+    "SurrogateUnavailable",
+    "TARGETS",
+    "collect_rows",
+    "estimate_run",
+    "evaluate_from_cache",
+    "featurize",
+    "fit",
+    "load_model",
+    "model_path",
+    "save_model",
+    "train_from_cache",
+]

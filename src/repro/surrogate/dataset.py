@@ -1,0 +1,268 @@
+"""Training-set assembly from already-cached simulation results.
+
+The surrogate never runs a simulation to train: it harvests the
+:mod:`repro.sim.cache` entries the evaluation has already produced.  The
+training grid is the evaluation's own query set:
+
+* the **standard grid** — the five CNN models times the five evaluated
+  systems plus the Neurocube comparison point (the 30 runs behind the
+  paper-figure artifacts), at default measured steps;
+* the **sweep points** the figure experiments cache anyway: the
+  Figure 11 frequency scales, the Figure 12 programmable-PIM counts, the
+  Figure 13/14 RC/OP ablation variants and the Figure 16 mixed-workload
+  co-runs (restricted solo tenants plus merged co-run graphs).
+
+The sweeps matter beyond coverage: they give each (model, Hetero-PIM
+family) calibration key several rows, which is what makes the model's
+leave-one-out error bands meaningful.  Cache misses are reported, never
+simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..sim import cache as sim_cache
+from .errors import SurrogateUnavailable
+from .features import FeatureBundle, featurize, prepare_policy
+from .model import (
+    TARGETS,
+    SurrogateModel,
+    fit,
+    load_model,
+    save_model,
+)
+
+#: One training/eval row: featurization + exact targets + provenance.
+Row = Tuple[FeatureBundle, Dict[str, float], Dict[str, str]]
+
+
+def _standard_grid() -> Tuple[Tuple[str, str], ...]:
+    from ..experiments.common import EVAL_CONFIGS, EVAL_MODELS
+
+    return tuple(
+        (model, config)
+        for model in EVAL_MODELS
+        for config in (*EVAL_CONFIGS, "neurocube")
+    )
+
+
+#: The 30 standard (model, configuration) grid points backing the paper's
+#: experiment artifacts.
+STANDARD_GRID: Tuple[Tuple[str, str], ...] = _standard_grid()
+
+
+def _named_point(
+    label: str,
+    model: str,
+    config_name: str,
+    base=None,
+    policy_override=None,
+) -> Tuple[str, object, object, object]:
+    """Resolve one (model, named-config) point to a ``(label, graph,
+    policy, system)`` job."""
+    from ..api import cached_graph, resolve_configuration
+
+    system, policy = resolve_configuration(config_name, base)
+    if policy_override is not None:
+        policy = policy_override
+    return (label, cached_graph(model), policy, system)
+
+
+def _corun_points() -> Iterator[Tuple[str, object, object, object]]:
+    """The Figure 16 mixed-workload jobs: restricted solo tenants plus
+    the merged co-run graphs.
+
+    A co-run job's replica count ``k`` derives from the cached solo step
+    times; pairs whose solos are not cached yet are silently skipped (the
+    standard grid alone still trains a usable model).
+    """
+    from ..experiments import fig16
+
+    solo_s: Dict[str, float] = {}
+    for non in dict.fromkeys(non for _cnn, non in fig16.PAIRS):
+        graph, policy, system, _steps = fig16._solo_restricted_job(non)
+        yield (f"{non}/corun-solo", graph, policy, system)
+        cached = sim_cache.get(sim_cache.run_fingerprint(graph, policy, system))
+        if cached is not None:
+            solo_s[non] = cached.step_time_s
+    for cnn, non in fig16.PAIRS:
+        if non not in solo_s:
+            continue
+        cnn_label, cnn_graph, cnn_policy, cnn_system = _named_point(
+            "", cnn, "hetero-pim"
+        )
+        cached = sim_cache.get(
+            sim_cache.run_fingerprint(cnn_graph, cnn_policy, cnn_system)
+        )
+        if cached is None:
+            continue
+        k = max(
+            1,
+            round(
+                fig16.TENANT_LOAD_FACTOR * cached.step_time_s / solo_s[non]
+            ),
+        )
+        graph, policy, system, _steps = fig16._corun_job(cnn, non, k)
+        yield (f"{cnn}+{non}/corun", graph, policy, system)
+
+
+def _training_points(
+    grid: Optional[Sequence[Tuple[str, str]]],
+) -> Iterator[Tuple[str, object, object, object]]:
+    """Yield resolved ``(label, graph, policy, system)`` training jobs.
+
+    With an explicit ``grid`` only those (model, config) points are
+    yielded; the default adds the cached sweep/ablation/co-run points.
+    """
+    if grid is not None:
+        for model, config in grid:
+            yield _named_point(f"{model}/{config}", model, config)
+        return
+    for model, config in STANDARD_GRID:
+        yield _named_point(f"{model}/{config}", model, config)
+
+    from ..config import FREQUENCY_SCALES, PROG_PIM_COUNTS, default_config
+    from ..experiments.ablation import VARIANTS
+    from ..experiments.common import EVAL_MODELS
+    from ..runtime.scheduler import HeteroPimPolicy
+
+    for model in EVAL_MODELS:
+        for scale in FREQUENCY_SCALES:
+            base = default_config().with_frequency_scale(scale)
+            yield _named_point(
+                f"{model}/hetero-pim@f{scale:g}", model, "hetero-pim", base
+            )
+        for count in PROG_PIM_COUNTS:
+            base = default_config().with_prog_pims(count)
+            yield _named_point(
+                f"{model}/hetero-pim@p{count}", model, "hetero-pim", base
+            )
+        for label, rc, op in VARIANTS:
+            policy = HeteroPimPolicy(
+                recursive_kernels=rc, operation_pipeline=op
+            )
+            yield _named_point(
+                f"{model}/hetero-pim@{label}", model, "hetero-pim",
+                policy_override=policy,
+            )
+    yield from _corun_points()
+
+
+def collect_rows(
+    grid: Optional[Sequence[Tuple[str, str]]] = None,
+) -> Tuple[List[Row], List[str]]:
+    """Harvest a row for every *cached* training point; returns
+    ``(rows, misses)`` with misses as point labels.
+
+    Targets are per-step (the model scales by step count at query time).
+    Duplicate points (e.g. the 1x frequency scale equals the standard
+    Hetero-PIM run) deduplicate by content fingerprint.
+    """
+    rows: List[Row] = []
+    misses: List[str] = []
+    seen: set = set()
+    for label, graph, policy, system in _training_points(grid):
+        fingerprint = sim_cache.run_fingerprint(graph, policy, system)
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        result = sim_cache.get(fingerprint)
+        if result is None:
+            misses.append(label)
+            continue
+        prepare_policy(graph, policy, system)
+        bundle = featurize(graph, policy, system)
+        targets = {
+            "step_time_s": result.step_time_s,
+            "step_dynamic_energy_j": result.step_dynamic_energy_j,
+            "step_total_energy_j": result.step_energy_j,
+            "fixed_pim_utilization": result.fixed_pim_utilization,
+        }
+        rows.append((bundle, targets, {"point": label}))
+    return rows, misses
+
+
+def train_from_cache(
+    grid: Optional[Sequence[Tuple[str, str]]] = None,
+    save: bool = True,
+) -> Tuple[SurrogateModel, List[str]]:
+    """Train (and by default persist) the surrogate from cached results.
+
+    Returns ``(model, misses)``.  Raises :class:`SurrogateUnavailable`
+    with a friendly message when the cache holds no usable rows — the CLI
+    prints it as a one-liner.
+    """
+    rows, misses = collect_rows(grid)
+    if not rows:
+        raise SurrogateUnavailable(
+            "no cached simulation results to train on; warm the cache "
+            "first (e.g. 'repro experiment summary' or 'repro run')"
+        )
+    meta = {
+        "rows": len(rows),
+        "faulted_rows": 0,
+        "points": [p["point"] for _b, _t, p in rows],
+        "misses": list(misses),
+    }
+    model = fit([(b, t) for b, t, _p in rows], meta=meta)
+    if save:
+        save_model(model)
+    return model, misses
+
+
+def evaluate_from_cache(
+    model: Optional[SurrogateModel] = None,
+    grid: Optional[Sequence[Tuple[str, str]]] = None,
+) -> Dict[str, object]:
+    """Compare surrogate predictions against cached exact results.
+
+    Returns ``{"points": [...], "aggregate": {target: {...}}, "rows": n}``
+    where each point carries per-target relative errors and band checks.
+    Raises :class:`SurrogateUnavailable` when no model or no cached rows
+    exist.
+    """
+    if model is None:
+        model = load_model()
+    rows, misses = collect_rows(grid)
+    if not rows:
+        raise SurrogateUnavailable(
+            "no cached simulation results to evaluate against; warm the "
+            "cache first (e.g. 'repro experiment summary')"
+        )
+    points: List[Dict[str, object]] = []
+    errors: Dict[str, List[float]] = {t: [] for t in TARGETS}
+    for bundle, targets, meta in rows:
+        preds = model.predict_step(bundle)
+        record: Dict[str, object] = dict(meta)
+        for target in TARGETS:
+            exact = targets[target]
+            pred = preds[target]["value"]
+            band = preds[target]["band_rel"]
+            rel = abs(pred - exact) / exact if exact > 0 else 0.0
+            errors[target].append(rel)
+            record[target] = {
+                "exact": exact,
+                "predicted": pred,
+                "rel_error": rel,
+                "band_rel": band,
+                "within_band": rel <= band,
+            }
+        points.append(record)
+    aggregate = {
+        target: {
+            "mean_rel_error": sum(errs) / len(errs),
+            "max_rel_error": max(errs),
+            "band_rel": model.band_rel(target),
+            "within_band": all(
+                p[target]["within_band"] for p in points
+            ),
+        }
+        for target, errs in errors.items()
+    }
+    return {
+        "rows": len(rows),
+        "misses": list(misses),
+        "points": points,
+        "aggregate": aggregate,
+    }

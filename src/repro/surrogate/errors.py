@@ -1,0 +1,15 @@
+"""Surrogate error types (their own module: every layer imports them)."""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class SurrogateUnavailable(ReproError):
+    """The surrogate cannot answer this query.
+
+    Raised when no trained model exists, the training cache is empty, or
+    the query is outside the trained domain (e.g. a fault-injected run
+    when the training set was fault-free).  Callers fall back to exact
+    simulation; the CLI renders the message as a friendly one-liner.
+    """

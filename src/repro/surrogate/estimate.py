@@ -1,0 +1,120 @@
+"""Surrogate-estimated :class:`~repro.sim.results.RunResult` records.
+
+:func:`estimate_run` is the simulation-shaped face of the surrogate: it
+answers the same (graph, policy, config, steps) query as
+:func:`repro.sim.cache.simulate_cached`, in microseconds, with an
+*estimated* result.  The record is recognizable as an estimate:
+
+* ``metrics`` carries ``surrogate.estimated`` = 1 plus one
+  ``surrogate.band.<target>_rel`` entry per predicted quantity (the
+  model's declared relative-error band);
+* event-level fields that only an exact simulation can produce
+  (``events_processed``, device usage, busy fractions, occupancy
+  histograms) are zero/absent — downstream code that needs them must run
+  the exact simulator.  The one exception is ``fixed_pim_utilization``,
+  which the model's optional head predicts for calibration keys it was
+  trained on (flagged via ``surrogate.utilization_estimated``);
+* estimated records are **never** written to the result cache.
+
+Out-of-domain queries raise :class:`SurrogateUnavailable` so callers fall
+back to exact simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SystemConfig
+from ..hardware.power import DeviceUsage, EnergyBreakdown
+from ..nn.graph import Graph
+from ..sim.activity import TimeBreakdown
+from ..sim.policy import SchedulingPolicy
+from ..sim.results import RunResult
+from .errors import SurrogateUnavailable
+from .features import featurize, prepare_policy
+from .model import SurrogateModel, load_model
+
+
+def estimate_run(
+    graph: Graph,
+    policy: SchedulingPolicy,
+    system: Optional[SystemConfig] = None,
+    steps: Optional[int] = None,
+    faults=None,
+    model: Optional[SurrogateModel] = None,
+) -> RunResult:
+    """Estimate one run's result without simulating it.
+
+    Mirrors :func:`repro.sim.cache.simulate_cached`'s signature; raises
+    :class:`SurrogateUnavailable` when no trained model exists or the
+    query is outside the trained domain (fault-injected queries against a
+    fault-free training set).
+    """
+    if system is None:
+        from ..config import default_config
+
+        system = default_config()
+    if steps is None:
+        steps = system.runtime.measured_steps
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if model is None:
+        model = load_model()
+    if faults is not None and model.faulted_rows == 0:
+        raise SurrogateUnavailable(
+            "fault-injected runs are outside the surrogate's trained "
+            "domain (training set was fault-free); using exact simulation"
+        )
+    prepare_policy(graph, policy, system)
+    bundle = featurize(graph, policy, system, faults=faults)
+    preds = model.predict_step(bundle)
+
+    step_time = preds["step_time_s"]["value"]
+    step_dyn = preds["step_dynamic_energy_j"]["value"]
+    step_total = preds["step_total_energy_j"]["value"]
+    makespan = step_time * steps
+    dynamic_j = step_dyn * steps
+    total_j = max(step_total * steps, dynamic_j)
+
+    energy = EnergyBreakdown(
+        dynamic_j=dynamic_j,
+        static_j=total_j - dynamic_j,
+        memory_j=0.0,
+        makespan_s=makespan,
+        by_device={},
+    )
+    metrics = {
+        "surrogate.estimated": 1.0,
+        "surrogate.tier": preds["step_time_s"]["tier"],
+        "surrogate.band.step_time_rel": preds["step_time_s"]["band_rel"],
+        "surrogate.band.dynamic_energy_rel": preds["step_dynamic_energy_j"][
+            "band_rel"
+        ],
+        "surrogate.band.total_energy_rel": preds["step_total_energy_j"][
+            "band_rel"
+        ],
+    }
+    # pool utilization is served only from the optional head's key tier
+    # (an interpolation, never an extrapolation); otherwise the field
+    # stays 0 like every other event-level aggregate
+    utilization = 0.0
+    util_pred = preds.get("fixed_pim_utilization")
+    if util_pred is not None and util_pred["tier"] == 0:
+        utilization = min(1.0, util_pred["value"])
+        metrics["surrogate.utilization_estimated"] = 1.0
+        metrics["surrogate.band.utilization_rel"] = util_pred["band_rel"]
+    return RunResult(
+        config_name=policy.name,
+        model_name=graph.name,
+        steps=steps,
+        makespan_s=makespan,
+        step_time_s=step_time,
+        breakdown=TimeBreakdown(
+            operation_s=makespan, data_movement_s=0.0, sync_s=0.0
+        ),
+        usage=DeviceUsage(),
+        energy=energy,
+        fixed_pim_utilization=utilization,
+        events_processed=0,
+        metrics=metrics,
+    )

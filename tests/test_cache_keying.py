@@ -1,0 +1,118 @@
+"""Cache keying regressions: cost tables, fingerprints, no leakage.
+
+The vectorized cost table and the result cache are both memoized across
+runs; every behavioural knob of a run must reach their keys, or a sweep
+(frequency scaling, PIM counts, fault seeds) silently serves one
+configuration's numbers for another.
+"""
+
+from repro.baselines import build_configuration
+from repro.config import default_config
+from repro.faults import FaultSpec
+from repro.nn.models import build_model
+from repro.sim import cache as sim_cache
+from repro.sim.optable import cost_table
+from repro.sim.simulation import Simulation
+
+
+def _prepared(config_name="hetero-pim", base=None):
+    config, policy = build_configuration(config_name, base)
+    graph = build_model("alexnet")
+    policy.prepare(graph, config)
+    return graph, policy, config
+
+
+class TestCostTableKeying:
+    def test_same_run_reuses_the_table(self):
+        graph, policy, config = _prepared()
+        assert cost_table(graph, policy, config) is cost_table(
+            graph, policy, config
+        )
+
+    def test_frequency_scale_gets_its_own_table(self):
+        graph, policy, config = _prepared()
+        scaled = config.with_frequency_scale(0.5)
+        policy.prepare(graph, scaled)
+        try:
+            slow = cost_table(graph, policy, scaled)
+        finally:
+            policy.prepare(graph, config)
+        fast = cost_table(graph, policy, config)
+        assert slow is not fast
+        op = graph.ops[0]
+        assert slow.est[("fixed", id(op))] != fast.est[("fixed", id(op))]
+
+    def test_prog_pim_count_gets_its_own_table(self):
+        graph, policy, config = _prepared()
+        base = default_config().with_prog_pims(4)
+        graph2, policy2, shrunk = _prepared(base=base)
+        assert cost_table(graph, policy, config) is not cost_table(
+            graph2, policy2, shrunk
+        )
+
+    def test_distinct_graphs_never_share_tables(self):
+        g1, p1, c1 = _prepared()
+        g2, p2, c2 = _prepared()
+        assert cost_table(g1, p1, c1) is not cost_table(g2, p2, c2)
+
+
+class TestRunFingerprint:
+    def test_config_knobs_change_the_fingerprint(self):
+        graph, policy, config = _prepared()
+        fp = sim_cache.run_fingerprint(graph, policy, config)
+        scaled = config.with_frequency_scale(0.5)
+        shrunk = default_config().with_prog_pims(4)
+        assert sim_cache.run_fingerprint(graph, policy, scaled) != fp
+        assert sim_cache.run_fingerprint(graph, policy, shrunk) != fp
+        assert sim_cache.run_fingerprint(graph, policy, config, steps=7) != fp
+
+    def test_fault_spec_changes_the_fingerprint(self):
+        graph, policy, config = _prepared("fixed-pim")
+        fp_clean = sim_cache.run_fingerprint(graph, policy, config)
+        spec_a = FaultSpec.generate(seed=1, horizon_s=0.05, n_events=2)
+        spec_b = FaultSpec.generate(seed=2, horizon_s=0.05, n_events=2)
+        fp_a = sim_cache.run_fingerprint(graph, policy, config, faults=spec_a)
+        fp_b = sim_cache.run_fingerprint(graph, policy, config, faults=spec_b)
+        assert len({fp_clean, fp_a, fp_b}) == 3
+
+    def test_identical_fault_specs_share_a_fingerprint(self):
+        graph, policy, config = _prepared("fixed-pim")
+        spec_a = FaultSpec.generate(seed=1, horizon_s=0.05, n_events=2)
+        spec_b = FaultSpec.generate(seed=1, horizon_s=0.05, n_events=2)
+        assert sim_cache.run_fingerprint(
+            graph, policy, config, faults=spec_a
+        ) == sim_cache.run_fingerprint(graph, policy, config, faults=spec_b)
+
+
+class TestNoCrossRunLeakage:
+    def test_scaled_run_does_not_contaminate_the_default(self):
+        """A frequency-scaled sweep point run in between must leave the
+        default configuration's result byte-identical."""
+        graph, policy, config = _prepared()
+        before = Simulation(graph, policy, config=config, steps=1).run()
+
+        scaled_cfg = config.with_frequency_scale(0.5)
+        g2, p2, _ = _prepared()
+        p2.prepare(g2, scaled_cfg)
+        scaled = Simulation(g2, p2, config=scaled_cfg, steps=1).run()
+        assert scaled.step_time_s != before.step_time_s
+
+        g3, p3, c3 = _prepared()
+        after = Simulation(g3, p3, config=c3, steps=1).run()
+        assert after.to_json() == before.to_json()
+
+    def test_faulted_run_does_not_contaminate_the_clean_one(self):
+        graph, policy, config = _prepared("fixed-pim")
+        clean = Simulation(graph, policy, config=config, steps=1).run()
+        spec = FaultSpec.generate(
+            seed=3,
+            horizon_s=0.05,
+            n_events=2,
+            pool_units=config.fixed_pim.n_units,
+            prog_pims=config.prog_pim.n_pims,
+        )
+        g2, p2, c2 = _prepared("fixed-pim")
+        Simulation(g2, p2, config=c2, steps=1, faults=spec).run()
+        g3, p3, c3 = _prepared("fixed-pim")
+        again = Simulation(g3, p3, config=c3, steps=1).run()
+        assert again.to_json() == clean.to_json()

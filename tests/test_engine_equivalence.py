@@ -1,0 +1,93 @@
+"""Vectorized engine ≡ scalar oracle, swept with Hypothesis.
+
+The vectorized hot path (``repro.sim.optable`` cost table + heap-parking
+drain) must be a pure performance transformation: for any graph, policy,
+config and fault spec, the full result record — every field, via
+canonical JSON — must match the original scalar engine
+(``REPRO_ENGINE=scalar``) exactly, not approximately.
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import build_configuration
+from repro.faults import FaultSpec
+from repro.nn.layers import GraphBuilder
+from repro.sim.simulation import Simulation
+
+CONFIGS = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim")
+
+
+@st.composite
+def small_training_graph(draw):
+    batch = draw(st.integers(min_value=1, max_value=8))
+    b = GraphBuilder("equiv-model", batch_size=batch)
+    if draw(st.booleans()):
+        side = draw(st.sampled_from([4, 8]))
+        x = b.input((batch, side, side, draw(st.integers(1, 4))))
+        x = b.conv2d(x, draw(st.integers(1, 8)), (3, 3), name="conv0")
+        x = b.flatten(x)
+    else:
+        x = b.input((batch, draw(st.integers(2, 32))))
+    for i in range(draw(st.integers(1, 3))):
+        x = b.dense(x, draw(st.integers(2, 64)), name=f"fc{i}")
+    classes = draw(st.integers(2, 8))
+    x = b.dense(x, classes, activation=None, name="logits")
+    b.softmax_loss(x, classes)
+    return b.finish()
+
+
+def _run(graph, config_name, steps, faults, engine):
+    """One simulation under the given engine ('vector' or 'scalar')."""
+    config, policy = build_configuration(config_name)
+    prior = os.environ.get("REPRO_ENGINE")
+    if engine == "scalar":
+        os.environ["REPRO_ENGINE"] = "scalar"
+    else:
+        os.environ.pop("REPRO_ENGINE", None)
+    try:
+        return Simulation(
+            graph, policy, config=config, steps=steps, faults=faults
+        ).run()
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_ENGINE", None)
+        else:
+            os.environ["REPRO_ENGINE"] = prior
+
+
+@given(
+    graph=small_training_graph(),
+    config_name=st.sampled_from(CONFIGS),
+    steps=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_vectorized_matches_scalar_fault_free(graph, config_name, steps):
+    vec = _run(graph, config_name, steps, None, "vector")
+    sca = _run(graph, config_name, steps, None, "scalar")
+    assert vec.to_json() == sca.to_json()
+
+
+@given(
+    graph=small_training_graph(),
+    config_name=st.sampled_from(("fixed-pim", "hetero-pim")),
+    fault_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_events=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=10, deadline=None)
+def test_vectorized_matches_scalar_with_faults(
+    graph, config_name, fault_seed, n_events
+):
+    config, _policy = build_configuration(config_name)
+    faults = FaultSpec.generate(
+        seed=fault_seed,
+        horizon_s=0.05,
+        n_events=n_events,
+        pool_units=config.fixed_pim.n_units,
+        prog_pims=config.prog_pim.n_pims,
+    )
+    vec = _run(graph, config_name, 2, faults, "vector")
+    sca = _run(graph, config_name, 2, faults, "scalar")
+    assert vec.to_json() == sca.to_json()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""CI perf gate: ``experiment summary`` wall-clock vs the committed budget.
+
+Measures the full ``repro experiment summary`` pipeline three ways, each
+against a throwaway cache directory so the developer's warm cache never
+skews (or is polluted by) the numbers:
+
+* **cold** — every simulation runs;
+* **warm** — identical second invocation, everything a cache hit;
+* **surrogate cold** — result cache emptied again but the cost surrogate
+  (trained from the warm cache) answers the estimable queries.
+
+The committed ``BENCH_summary.json`` carries the budget under its
+``experiment_summary`` key.  The gate fails only on a >2x regression —
+generous slack, because CI machines are slower and noisier than the
+box that recorded the budget; the budget exists to catch accidental
+de-vectorization or cache-keying regressions, not 10% jitter.
+
+Usage::
+
+    python tools/check_perf.py            # measure and compare (CI gate)
+    python tools/check_perf.py --update   # measure and (re)write the budget
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SUMMARY_PATH = REPO / "BENCH_summary.json"
+
+#: Regression threshold: fail only when current wall-clock exceeds the
+#: committed budget by more than this factor.
+SLACK = 2.0
+
+
+def _run_summary(cache_dir: Path, *extra: str) -> float:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["REPRO_CACHE"] = "1"
+    t0 = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro", "experiment", "summary", *extra],
+        check=True,
+        env=env,
+        cwd=REPO,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    return round(time.perf_counter() - t0, 2)
+
+
+def measure() -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+        cache = Path(tmp) / "cache"
+        cold_s = _run_summary(cache)
+        warm_s = _run_summary(cache)
+        # train the surrogate from the now-warm cache, then empty the
+        # result tier so the surrogate run is honestly cold
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        env["REPRO_CACHE_DIR"] = str(cache)
+        subprocess.run(
+            [sys.executable, "-m", "repro", "surrogate", "train"],
+            check=True,
+            env=env,
+            cwd=REPO,
+            stdout=subprocess.DEVNULL,
+        )
+        shutil.rmtree(cache / "objects")
+        surrogate_cold_s = _run_summary(cache, "--surrogate")
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "surrogate_cold_s": surrogate_cold_s,
+    }
+
+
+def main() -> int:
+    update = "--update" in sys.argv[1:]
+    measured = measure()
+    print(
+        "experiment summary wall-clock: "
+        + ", ".join(f"{k}={v}s" for k, v in measured.items())
+    )
+
+    if update:
+        summary = json.loads(SUMMARY_PATH.read_text()) if SUMMARY_PATH.is_file() else {}
+        summary["experiment_summary"] = measured
+        SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+        print(f"budget updated in {SUMMARY_PATH.name}")
+        return 0
+
+    if not SUMMARY_PATH.is_file():
+        print(f"FAIL: {SUMMARY_PATH} does not exist (no committed budget)")
+        return 1
+    budget = json.loads(SUMMARY_PATH.read_text()).get("experiment_summary")
+    if not budget:
+        print("FAIL: BENCH_summary.json has no experiment_summary budget")
+        return 1
+
+    failures = []
+    for key, current in measured.items():
+        allowed = budget.get(key)
+        if allowed is None:
+            continue
+        if current > SLACK * allowed:
+            failures.append(f"{key}: {current}s > {SLACK}x budget ({allowed}s)")
+    if failures:
+        print("PERF REGRESSION: " + "; ".join(failures))
+        return 1
+    print(f"perf OK: all within {SLACK}x of the committed budget {budget}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
