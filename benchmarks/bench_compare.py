@@ -1,0 +1,11 @@
+"""Benchmark E-CMP — cross-architecture comparison: every model on each rival hardware backend."""
+
+from repro.experiments import compare
+
+from conftest import emit
+
+
+def test_compare(benchmark):
+    """One full cross-backend comparison grid."""
+    result = benchmark.pedantic(compare.run, rounds=1, iterations=1)
+    emit("compare", compare.format_result(result))

@@ -41,10 +41,12 @@ __all__ = [
     "ReproError",
     "RunReport",
     "RuntimeConfig",
+    "SimulateOptions",
     "StackConfig",
     "SystemConfig",
     "api",
     "default_config",
+    "list_backends",
     "simulate",
     "__version__",
 ]
@@ -54,6 +56,8 @@ __all__ = [
 _LAZY = {
     "api": ("repro.api", None),
     "simulate": ("repro.api", "simulate"),
+    "SimulateOptions": ("repro.api", "SimulateOptions"),
+    "list_backends": ("repro.api", "list_backends"),
     "RunReport": ("repro.obs.report", "RunReport"),
 }
 

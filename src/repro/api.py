@@ -28,7 +28,8 @@ importable but warn.
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Dict, Optional, Tuple, Union
 
 from .config import SystemConfig, default_config
 from .nn.graph import Graph
@@ -39,19 +40,25 @@ from .sim import cache as sim_cache
 from .sim.policy import SchedulingPolicy
 from .sim.simulation import Simulation
 
-#: Named configurations accepted by :func:`simulate` (the paper's five
-#: evaluated systems plus the Neurocube comparison point).
+#: Named configurations accepted by :func:`simulate` on the default
+#: backend (the paper's five evaluated systems plus the Neurocube
+#: comparison point).  Other backends declare their own configuration
+#: names — see :func:`list_backends` and
+#: :meth:`repro.hardware.registry.HardwareBackend.configurations`.
 CONFIGURATIONS = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim", "neurocube")
+
+#: Backend used when none is requested (the reproduced paper's design).
+DEFAULT_BACKEND = "hmc-hetero"
 
 _graph_cache: Dict[Tuple[str, Optional[int]], Graph] = {}
 
-#: Resolved ``SystemConfig`` instances keyed by (configuration name, base
-#: identity).  Returning the *same* config object per name lets the
-#: downstream id-keyed memoizers (config signatures, cost tables) hit
-#: instead of re-deriving; policies stay fresh per call because
-#: ``prepare()`` mutates them.  Entries tied to an explicit base evict
-#: with it.
-_resolved_config_cache: Dict[Tuple[str, Optional[int]], SystemConfig] = {}
+#: Resolved ``SystemConfig`` instances keyed by (backend, configuration
+#: name, base identity).  Returning the *same* config object per name
+#: lets the downstream id-keyed memoizers (config signatures, cost
+#: tables) hit instead of re-deriving; policies stay fresh per call
+#: because ``prepare()`` mutates them.  Entries tied to an explicit base
+#: evict with it.
+_resolved_config_cache: Dict[Tuple[str, str, Optional[int]], SystemConfig] = {}
 
 #: Frequency-scaled variants of the default configuration, keyed by scale
 #: (the section VI-D sweep re-resolves the same handful of scales).
@@ -63,9 +70,22 @@ def list_models() -> Tuple[str, ...]:
     return tuple(available_models())
 
 
-def list_configurations() -> Tuple[str, ...]:
-    """Names accepted as :func:`simulate`'s ``config`` argument."""
-    return CONFIGURATIONS
+def list_configurations(backend: str = DEFAULT_BACKEND) -> Tuple[str, ...]:
+    """Names accepted as :func:`simulate`'s ``config`` argument for
+    ``backend`` (default: the paper's six named configurations)."""
+    if backend == DEFAULT_BACKEND:
+        return CONFIGURATIONS
+    from .hardware import registry
+
+    return registry.get(backend).configurations
+
+
+def list_backends() -> Tuple[str, ...]:
+    """Registered hardware-backend names (see
+    :mod:`repro.hardware.registry`)."""
+    from .hardware import registry
+
+    return registry.list_backends()
 
 
 def cached_graph(model: str, batch_size: Optional[int] = None) -> Graph:
@@ -77,18 +97,24 @@ def cached_graph(model: str, batch_size: Optional[int] = None) -> Graph:
 
 
 def resolve_configuration(
-    config_name: str, base: Optional[SystemConfig] = None
+    config_name: Optional[str] = None,
+    base: Optional[SystemConfig] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Tuple[SystemConfig, SchedulingPolicy]:
-    """Instantiate a named configuration (see :data:`CONFIGURATIONS`)."""
-    from .baselines import build_configuration, make_neurocube
+    """Instantiate a named configuration of a registered backend.
 
-    if config_name == "neurocube":
-        system, policy = make_neurocube(
-            base if base is not None else default_config()
-        )
-    else:
-        system, policy = build_configuration(config_name, base)
-    key = (config_name, id(base) if base is not None else None)
+    ``config_name=None`` selects the backend's default configuration
+    (``"hetero-pim"`` on the default backend).  Raises
+    :class:`~repro.errors.UnknownBackendError` for an unregistered
+    ``backend`` name.
+    """
+    from .hardware import registry
+
+    be = registry.get(backend)
+    if config_name is None:
+        config_name = be.default_configuration
+    system, policy = registry.build(backend, config_name, base)
+    key = (backend, config_name, id(base) if base is not None else None)
     cached = _resolved_config_cache.get(key)
     if cached is None:
         _resolved_config_cache[key] = system
@@ -134,9 +160,79 @@ def last_batch_supervision():
     return runner.last_supervision()
 
 
+@dataclass(frozen=True)
+class SimulateOptions:
+    """Behavioral options of one :func:`simulate` call, as one object.
+
+    The growing keyword set (``observe``/``faults``/``validate``/
+    ``surrogate``/``backend``) folds into this dataclass: build one and
+    pass it as ``simulate(..., options=opts)``.  The legacy keywords keep
+    working and, when explicitly supplied, override the corresponding
+    option field.  The *resolved* options of every call are recorded on
+    ``report.options``.
+    """
+
+    #: Registered hardware backend to simulate on (:func:`list_backends`).
+    backend: str = DEFAULT_BACKEND
+    #: Live run with timeline recording (bool or a MetricsRegistry).
+    observe: Union[bool, MetricsRegistry, None] = None
+    #: Optional :class:`~repro.faults.FaultSpec` to inject.
+    faults: Optional[object] = None
+    #: Run under the invariant checker (None = ``REPRO_VALIDATE`` env).
+    validate: Optional[bool] = None
+    #: Answer from the learned cost surrogate when possible.
+    surrogate: bool = False
+
+    def merged(
+        self,
+        *,
+        backend: Optional[str] = None,
+        observe=None,
+        faults=None,
+        validate: Optional[bool] = None,
+        surrogate: bool = False,
+    ) -> "SimulateOptions":
+        """This options object with explicitly-passed legacy keywords
+        overriding the corresponding fields (unset keywords defer)."""
+        updates: Dict[str, object] = {}
+        if backend is not None:
+            updates["backend"] = backend
+        if observe is not None:
+            updates["observe"] = observe
+        if faults is not None:
+            updates["faults"] = faults
+        if validate is not None:
+            updates["validate"] = validate
+        if surrogate:
+            updates["surrogate"] = True
+        return _dc_replace(self, **updates) if updates else self
+
+
+def _resolved_options_record(
+    opts: SimulateOptions,
+    config_name: str,
+    steps: int,
+    batch_size: Optional[int],
+    frequency_scale: float,
+    validate: bool,
+) -> Dict[str, object]:
+    """JSON-safe record of one call's resolved options (for the report)."""
+    return {
+        "backend": opts.backend,
+        "config": config_name,
+        "steps": steps,
+        "batch_size": batch_size,
+        "frequency_scale": frequency_scale,
+        "observe": bool(opts.observe),
+        "validate": bool(validate),
+        "surrogate": bool(opts.surrogate),
+        "faults": opts.faults is not None,
+    }
+
+
 def simulate(
     model: str,
-    config: str = "hetero-pim",
+    config: Optional[str] = None,
     steps: int = 3,
     *,
     batch_size: Optional[int] = None,
@@ -146,6 +242,8 @@ def simulate(
     faults=None,
     validate: Optional[bool] = None,
     surrogate: bool = False,
+    backend: Optional[str] = None,
+    options: Optional[SimulateOptions] = None,
 ) -> RunReport:
     """Simulate one training run of ``model`` on configuration ``config``.
 
@@ -154,7 +252,9 @@ def simulate(
     model:
         A model-zoo name (:func:`list_models`).
     config:
-        A configuration name (:func:`list_configurations`).
+        A configuration name (:func:`list_configurations`); ``None``
+        selects the backend's default configuration (``"hetero-pim"`` on
+        the default backend).
     steps:
         Measured training steps (positive).
     batch_size:
@@ -193,9 +293,27 @@ def simulate(
         trained model exists, the query is out of the trained domain, or
         ``observe``/``validate`` demand a real run.  Estimates are never
         written to the result cache.
+    backend:
+        A registered hardware backend (:func:`list_backends`); default
+        ``"hmc-hetero"``, the reproduced paper's design.  The backend
+        name joins the simulation-cache fingerprint.
+    options:
+        A :class:`SimulateOptions` carrying the behavioral keywords as
+        one object.  Explicitly-passed legacy keywords override the
+        corresponding option fields.  The resolved options land on
+        ``report.options`` either way.
     """
     if steps < 1:
         raise ValueError(f"steps must be >= 1, got {steps}")
+    opts = (options if options is not None else SimulateOptions()).merged(
+        backend=backend,
+        observe=observe,
+        faults=faults,
+        validate=validate,
+        surrogate=surrogate,
+    )
+    observe, faults = opts.observe, opts.faults
+    validate, surrogate = opts.validate, opts.surrogate
     if frequency_scale != 1.0:
         if base is None:
             scaled = _scaled_base_cache.get(frequency_scale)
@@ -206,9 +324,16 @@ def simulate(
         else:
             base = base.with_frequency_scale(frequency_scale)
     graph = cached_graph(model, batch_size)
-    system, policy = resolve_configuration(config, base)
+    if config is None:
+        from .hardware import registry
+
+        config = registry.get(opts.backend).default_configuration
+    system, policy = resolve_configuration(config, base, backend=opts.backend)
     if validate is None:
         validate = sim_cache.validation_enabled()
+    options_record = _resolved_options_record(
+        opts, config, steps, batch_size, frequency_scale, validate
+    )
 
     surrogate_info = None
     if surrogate and not (observe or validate):
@@ -237,7 +362,11 @@ def simulate(
                     ),
                 },
             }
-            return RunReport(result=result, surrogate=surrogate_info)
+            return RunReport(
+                result=result,
+                surrogate=surrogate_info,
+                options=options_record,
+            )
     elif surrogate:
         surrogate_info = {
             "mode": "exact",
@@ -288,6 +417,7 @@ def simulate(
         cache_stats=delta,
         validation=validation,
         surrogate=surrogate_info,
+        options=options_record,
     )
 
 

@@ -25,7 +25,8 @@ Commands:
   cost surrogate (:mod:`repro.surrogate`) from already-cached simulation
   results; ``run --surrogate`` / ``experiment --surrogate`` then answer
   from it;
-* ``models`` / ``configs`` — list available workloads and configurations.
+* ``models`` / ``configs`` / ``backends`` — list available workloads,
+  configurations and registered hardware backends.
 
 Experiment artifacts print to **stdout** only; progress/journal banners
 go to stderr, so redirected artifacts stay byte-comparable across
@@ -46,6 +47,8 @@ from .errors import (
     Interrupted,
     InvariantViolation,
     PoisonJob,
+    ReproError,
+    UnknownBackendError,
 )
 from .nn.models import available_models, build_model
 from .profiling import WorkloadProfiler
@@ -54,8 +57,8 @@ from .units import GB, KB, MB, TB
 
 EXPERIMENT_IDS = (
     "table1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig17", "ablations", "extensions",
-    "faults", "summary",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "ablations", "compare",
+    "extensions", "faults", "summary",
 )
 
 
@@ -102,8 +105,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one model on one configuration")
     run.add_argument("model", choices=available_models())
     run.add_argument(
-        "--config", default="hetero-pim",
-        choices=list(CONFIGURATION_ORDER) + ["neurocube"],
+        "--config", default=None, metavar="NAME",
+        help="configuration of the chosen backend (default: the "
+             "backend's default, 'hetero-pim' on hmc-hetero); "
+             "see 'repro configs'",
+    )
+    run.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="registered hardware backend to simulate on "
+             "(default: hmc-hetero); see 'repro backends'",
     )
     run.add_argument("--steps", type=_positive_int, default=None,
                      help="training steps to simulate (default: 3)")
@@ -142,6 +152,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="answer per-run queries from the learned cost surrogate "
              "where possible (estimated artifacts, NOT byte-identical "
              "to exact ones); falls back to simulation per query",
+    )
+    experiment.add_argument(
+        "--steps-small", action="store_true",
+        help="small smoke-test mode where the experiment supports it "
+             "(currently 'compare': fewer models, 1 step) — artifacts "
+             "are NOT comparable to full-mode ones",
     )
 
     resume = sub.add_parser(
@@ -247,6 +263,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("models", help="list available training workloads")
     sub.add_parser("configs", help="list evaluated system configurations")
+    sub.add_parser(
+        "backends",
+        help="list registered hardware backends and their configurations",
+    )
     return parser
 
 
@@ -262,9 +282,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             observe=observe,
             validate=bool(args.validate) or None,
             surrogate=bool(args.surrogate),
+            backend=args.backend,
         )
+    except UnknownBackendError as exc:
+        # mirror the cache-stats missing-state UX: names, no traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except InvariantViolation as exc:
         print(f"validation FAILED: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        # e.g. a configuration name the chosen backend does not have
+        print(f"error: {exc}", file=sys.stderr)
         return 1
     result = report.result
     b = result.step_breakdown
@@ -361,13 +390,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             "bands, not exact simulations",
             file=sys.stderr,
         )
+    from .experiments import compare
     from .experiments.common import set_surrogate
 
     prior = set_surrogate(use_surrogate)
+    prior_small = compare.set_small(bool(getattr(args, "steps_small", False)))
     try:
         return _run_journaled_experiment(args.id, journal)
     finally:
         set_surrogate(prior)
+        compare.set_small(prior_small)
         journal.close()
 
 
@@ -650,7 +682,22 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "configs":
         print("\n".join(list(CONFIGURATION_ORDER) + ["neurocube"]))
         return 0
+    if args.command == "backends":
+        return _cmd_backends()
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _cmd_backends() -> int:
+    from .hardware import registry
+
+    for name in registry.list_backends():
+        descriptor = registry.get(name).describe()
+        configs = ", ".join(descriptor.configurations)
+        default = descriptor.default_configuration
+        print(f"{name}")
+        print(f"  {descriptor.description}")
+        print(f"  configurations: {configs} (default: {default})")
+    return 0
 
 
 if __name__ == "__main__":

@@ -239,6 +239,15 @@ class SystemConfig:
     fixed_pim: FixedPIMConfig = field(default_factory=FixedPIMConfig)
     prog_pim: ProgPIMConfig = field(default_factory=ProgPIMConfig)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    #: Hardware backend this configuration belongs to (a name registered in
+    #: :mod:`repro.hardware.registry`).  Participates in cache/optable
+    #: fingerprints so two backends with numerically identical sub-configs
+    #: never share cached results.
+    backend: str = "hmc-hetero"
+
+    def with_backend(self, backend: str) -> "SystemConfig":
+        """Return a copy tagged as belonging to ``backend``."""
+        return replace(self, backend=backend)
 
     def with_frequency_scale(self, scale: float) -> "SystemConfig":
         """Return a copy with the PIM/stack PLL set to ``scale`` (1, 2, 4)."""

@@ -28,6 +28,34 @@ class HardwareConfigError(ReproError):
     """Raised for physically inconsistent hardware configurations."""
 
 
+class BackendError(HardwareConfigError):
+    """Raised by the hardware-backend registry (:mod:`repro.hardware.registry`)."""
+
+
+class UnknownBackendError(BackendError):
+    """Raised when a backend name is not registered.
+
+    Carries the ``available`` names so CLIs can print them instead of a
+    traceback (mirroring the missing-cache-state behavior).
+    """
+
+    def __init__(self, name: str, available=()):
+        self.backend = name
+        self.available = tuple(available)
+        listing = ", ".join(self.available) if self.available else "none"
+        super().__init__(
+            f"unknown hardware backend {name!r} — registered backends: {listing}"
+        )
+
+
+class DuplicateBackendError(BackendError):
+    """Raised when a backend name is registered twice.
+
+    Re-registering a name would silently reroute every simulation keyed on
+    it; plugins must pick a fresh name (or ``unregister`` first).
+    """
+
+
 class PlacementError(HardwareConfigError):
     """Raised when fixed-function PIM placement violates the bank budget."""
 

@@ -1,4 +1,5 @@
-"""Hardware models: 3D stack, PIMs, host CPU, GPU, power and area."""
+"""Hardware models: 3D stack, PIMs, host CPU, GPU, power and area —
+plus the pluggable backend registry (:mod:`repro.hardware.registry`)."""
 
 from .area import DesignPoint, LogicDieBudget, explore_prog_pim_tradeoff, max_fixed_units
 from .cpu import CpuModel, OpTiming
@@ -9,8 +10,10 @@ from .hmc import BankGeometry, BankZone, StackGeometry
 from .placement import Placement, place_fixed_pims, validate_thermal
 from .power import DeviceUsage, EnergyBreakdown, EnergyModel
 from .prog_pim import ProgPIMCluster
+from .registry import BackendDescriptor, HardwareBackend, list_backends, register
 
 __all__ = [
+    "BackendDescriptor",
     "BankGeometry",
     "BankZone",
     "CpuModel",
@@ -22,13 +25,16 @@ __all__ = [
     "EnergyModel",
     "FixedPIMPool",
     "GpuModel",
+    "HardwareBackend",
     "LogicDieBudget",
     "OpTiming",
     "Placement",
     "ProgPIMCluster",
     "StackGeometry",
     "explore_prog_pim_tradeoff",
+    "list_backends",
     "max_fixed_units",
     "place_fixed_pims",
+    "register",
     "validate_thermal",
 ]

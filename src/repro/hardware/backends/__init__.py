@@ -1,0 +1,23 @@
+"""Builtin hardware backends.
+
+Importing this package registers every builtin backend with
+:mod:`repro.hardware.registry`:
+
+* ``hmc-hetero`` — the paper's heterogeneous HMC design (default);
+* ``gradpim`` — GradPIM-style DDR4 bank-group in-DRAM optimizer ops
+  (Kim et al., HPCA 2021);
+* ``neurotrainer`` — NeuroTrainer-style dataflow-specialized memory-module
+  accelerator (Schuiki et al. / Kim et al., 2017).
+"""
+
+from .gradpim import GradPimBackend, GradPimPolicy
+from .hmc_hetero import HmcHeteroBackend
+from .neurotrainer import NeuroTrainerBackend, NeuroTrainerPolicy
+
+__all__ = [
+    "GradPimBackend",
+    "GradPimPolicy",
+    "HmcHeteroBackend",
+    "NeuroTrainerBackend",
+    "NeuroTrainerPolicy",
+]

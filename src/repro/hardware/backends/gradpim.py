@@ -1,0 +1,154 @@
+"""GradPIM-style backend: DDR4 bank-group in-DRAM optimizer processing.
+
+GradPIM (Kim et al., HPCA 2021) accelerates the *parameter-update* phase
+of DNN training inside commodity DDR4 DIMMs: small per-bank-group
+processing units execute the optimizer's read-modify-write streams
+(gradient descent, Adam) next to the arrays, while an NPU/GPU keeps the
+forward/backward passes.  Published characteristics this model follows:
+
+* bank-group-level parallelism — the in-DRAM units stream at the
+  aggregate *bank-group* bandwidth, ~4x the external channel bandwidth;
+* only memory-bound optimizer ops are offloaded; everything else stays on
+  the training accelerator (modeled with the GTX 1080 Ti of the paper's
+  GPU baseline, so the comparison isolates the memory-side designs);
+* tiny DRAM-die overhead (~1.6% area) and low per-op energy — near-bank
+  integer/FP units without SIMD register files or caches;
+* offload initiation is a DDR4 command sequence from the memory
+  controller: microseconds, far cheaper than a PCIe kernel launch.
+
+Absolute throughput/energy constants are calibrated the same way as the
+rest of the repo (DESIGN.md section 5): relative behavior — optimizer ops
+go memory-side, the accelerator keeps compute-bound work — is structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from ...config import SystemConfig, default_config
+from ...nn.ops import OffloadClass, Op
+from ...sim.policy import SchedulingPolicy
+from ...units import GB_S, MHZ, US
+from ..registry import BackendDescriptor, HardwareBackend, register
+
+#: Operation types executed by the in-DRAM bank-group units (the paper's
+#: DNN-parameter-update primitives).
+GRADPIM_OFFLOAD_OPS = frozenset({"ApplyAdam", "ApplyGradientDescent"})
+
+#: Bank groups exposed as processing units (2 channels x 2 ranks x 4 BGs).
+GRADPIM_BANK_GROUPS = 16
+
+#: DDR4-2400 core (array) clock driving the bank-group units.
+GRADPIM_CORE_CLOCK_HZ = 300 * MHZ
+
+#: Dual-channel DDR4-2400 external bandwidth.
+GRADPIM_EXTERNAL_GB_S = 38.4
+
+#: Bank-group parallel factor over the external channel (paper section IV).
+GRADPIM_BG_PARALLELISM = 4
+
+
+class GradPimPolicy(SchedulingPolicy):
+    """Optimizer ops in-DRAM, forward/backward on the accelerator.
+
+    The in-DRAM units appear as the simulator's ``fixed`` pool (a
+    bandwidth-shared streaming MAC pool is exactly what bank-group units
+    are); the CPU fallback realizes GradPIM's graceful degradation when a
+    bank group is mid-refresh or busy.
+    """
+
+    name = "GradPIM"
+    cpu_slots = 2
+    uses_gpu = True
+
+    def placements(self, op: Op) -> Tuple[str, ...]:
+        if op.op_type in GRADPIM_OFFLOAD_OPS and op.cost.macs:
+            return ("fixed", "cpu")
+        if op.offload_class is OffloadClass.HOST:
+            return ("cpu",)
+        return ("gpu",)
+
+
+@register
+class GradPimBackend(HardwareBackend):
+    """Commodity DDR4 DIMMs with bank-group optimizer units + accelerator."""
+
+    name = "gradpim"
+
+    def describe(self) -> BackendDescriptor:
+        return BackendDescriptor(
+            name=self.name,
+            description=(
+                "GradPIM-style DDR4: per-bank-group in-DRAM units execute "
+                "optimizer updates at bank-group bandwidth; forward/"
+                "backward stay on the discrete accelerator"
+            ),
+            device_kinds=("cpu", "gpu", "fixed"),
+            placement="static op-type offload (optimizer ops in-DRAM)",
+            configurations=("gradpim",),
+            default_configuration="gradpim",
+            energy_tables={
+                "fixed_pj_per_mac": 2.0,
+                "stack_internal_pj_per_byte": 4.0,
+                "stack_external_pj_per_byte": 22.0,
+            },
+            scheduling={
+                "recursive_kernels": False,
+                "operation_pipeline": False,
+                "offloads": sorted(GRADPIM_OFFLOAD_OPS),
+            },
+            # ~1.6% of the DRAM die per the paper, summed over the DIMMs
+            area_mm2=GRADPIM_BANK_GROUPS * 0.35,
+            power_w=GRADPIM_BANK_GROUPS * 30.0 / 1e3,
+            reference=(
+                "Kim et al., 'GradPIM: A Practical Processing-in-DRAM "
+                "Architecture for Gradient Descent', HPCA 2021 "
+                "(arXiv:2102.07511)"
+            ),
+        )
+
+    def build(
+        self,
+        configuration: Optional[str] = None,
+        base: Optional[SystemConfig] = None,
+    ) -> Tuple[SystemConfig, SchedulingPolicy]:
+        from ...errors import ReproError
+
+        name = configuration or "gradpim"
+        if name != "gradpim":
+            raise ReproError(
+                f"backend 'gradpim' has no configuration {name!r}; "
+                "available: ('gradpim',)"
+            )
+        if base is None:
+            base = default_config()
+        config = replace(
+            base,
+            backend=self.name,
+            stack=replace(
+                base.stack,
+                banks=GRADPIM_BANK_GROUPS,
+                base_frequency_hz=GRADPIM_CORE_CLOCK_HZ,
+                internal_bandwidth=(
+                    GRADPIM_EXTERNAL_GB_S * GRADPIM_BG_PARALLELISM * GB_S
+                ),
+                internal_pj_per_byte=4.0,
+                external_pj_per_byte=22.0,
+                active_power_w=4.0,
+                background_power_w=4.0,
+            ),
+            fixed_pim=replace(
+                base.fixed_pim,
+                n_units=GRADPIM_BANK_GROUPS,
+                reference_units=GRADPIM_BANK_GROUPS,
+                simd_width=8,
+                pj_per_mac=2.0,
+                mw_per_unit=30.0,
+                area_mm2_per_unit=0.35,
+                # offload initiation is a memory-controller command
+                # sequence, not a device kernel launch
+                host_launch_overhead_s=2 * US,
+            ),
+        )
+        return config, GradPimPolicy()

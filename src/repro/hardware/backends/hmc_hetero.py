@@ -1,0 +1,83 @@
+"""The default backend: the paper's heterogeneous HMC design.
+
+A thin re-packaging of the existing configuration factories
+(:mod:`repro.baselines`) behind the :class:`HardwareBackend` protocol —
+``build()`` delegates to the exact same code paths the facade always used,
+so the default backend is byte-identical to the pre-registry simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...config import SystemConfig, default_config
+from ...sim.policy import SchedulingPolicy
+from ..registry import BackendDescriptor, HardwareBackend, register
+
+#: The five paper configurations plus the Neurocube comparison point.
+HMC_CONFIGURATIONS = (
+    "cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim", "neurocube",
+)
+
+
+@register
+class HmcHeteroBackend(HardwareBackend):
+    """CPU + GPU + HMC stack with fixed-function and programmable PIMs."""
+
+    name = "hmc-hetero"
+
+    def describe(self) -> BackendDescriptor:
+        config = default_config()
+        fixed = config.fixed_pim
+        prog = config.prog_pim
+        return BackendDescriptor(
+            name=self.name,
+            description=(
+                "Heterogeneous HMC: 444 fixed-function MAC pairs + an ARM "
+                "programmable PIM on the logic die, profiling-driven "
+                "runtime offload (the reproduced paper's design)"
+            ),
+            device_kinds=("cpu", "gpu", "prog", "fixed", "hybrid"),
+            placement="profiling-driven runtime selection (x=90% coverage)",
+            configurations=HMC_CONFIGURATIONS,
+            default_configuration="hetero-pim",
+            energy_tables={
+                "fixed_pj_per_mac": fixed.pj_per_mac,
+                "stack_internal_pj_per_byte": config.stack.internal_pj_per_byte,
+                "stack_external_pj_per_byte": config.stack.external_pj_per_byte,
+            },
+            scheduling={
+                "recursive_kernels": True,
+                "operation_pipeline": True,
+                "offloads": ["FIXED", "HYBRID", "PROG"],
+            },
+            area_mm2=(
+                fixed.n_units * fixed.area_mm2_per_unit
+                + prog.n_pims * prog.area_mm2_per_pim
+            ),
+            power_w=(
+                fixed.n_units * fixed.mw_per_unit / 1e3
+                + prog.n_pims * prog.dynamic_power_w_per_pim
+            ),
+            reference=(
+                "Liu et al., 'Processing-in-Memory for Energy-Efficient "
+                "Neural Network Training: A Heterogeneous Approach', "
+                "MICRO 2018"
+            ),
+        )
+
+    def build(
+        self,
+        configuration: Optional[str] = None,
+        base: Optional[SystemConfig] = None,
+    ) -> Tuple[SystemConfig, SchedulingPolicy]:
+        from ...baselines import build_configuration, make_neurocube
+
+        name = configuration or "hetero-pim"
+        if base is None:
+            base = default_config()
+        if base.backend != self.name:
+            base = base.with_backend(self.name)
+        if name == "neurocube":
+            return make_neurocube(base)
+        return build_configuration(name, base)

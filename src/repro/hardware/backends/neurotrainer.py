@@ -1,0 +1,128 @@
+"""NeuroTrainer-style backend: a dataflow-specialized memory-module
+accelerator.
+
+NeuroTrainer (Kim, Kung & Mukhopadhyay, 2017; arXiv:1710.04347) performs
+*all* training computation inside a 3D-stacked memory module: each vault
+of the stack hosts a programmable processing engine whose dataflow is
+specialized per layer (intra-tile / inter-tile mapping), eliminating both
+the discrete accelerator and most off-module traffic.  Published
+characteristics this model follows:
+
+* one PE per vault (16 vaults), clocked with the stack;
+* ~500 GFLOPS aggregate at ~0.2-0.4 GFLOPS/W-scale efficiency;
+* dataflow specialization: near-unity efficiency on non-MAC work (the
+  PE's programmable dataflow covers activation/pooling/update kernels as
+  well as it covers GEMM, unlike a fixed in-order scalar core);
+* no host-side scheduling beyond kernel dispatch — the host only keeps
+  bookkeeping ops.
+
+The PE array maps onto the simulator's programmable-PIM cluster (one PE
+per "PIM", ganged across vaults for wide kernels); the fixed pool and GPU
+are absent from placement.  Absolute constants are calibrated as usual
+(DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from ...config import SystemConfig, default_config
+from ...nn.ops import OffloadClass, Op
+from ...sim.policy import SchedulingPolicy
+from ..registry import BackendDescriptor, HardwareBackend, register
+
+#: Vault count of the target stack (one PE per vault).
+NEUROTRAINER_VAULTS = 16
+
+#: Effective FLOPs per PE per stack cycle: 16 vaults x 96 FLOP/cycle at
+#: 312.5 MHz = 480 GFLOPS, matching the paper's ~500 GFLOPS module.
+NEUROTRAINER_FLOPS_PER_PE_CYCLE = 96.0
+
+
+class NeuroTrainerPolicy(SchedulingPolicy):
+    """Everything on the in-module PE array; host only for bookkeeping."""
+
+    name = "NeuroTrainer"
+    cpu_slots = 1
+    prog_gang_limit = NEUROTRAINER_VAULTS
+
+    def placements(self, op: Op) -> Tuple[str, ...]:
+        if op.offload_class is OffloadClass.HOST:
+            return ("cpu",)
+        return ("prog",)
+
+
+@register
+class NeuroTrainerBackend(HardwareBackend):
+    """3D-stacked memory module with per-vault dataflow-specialized PEs."""
+
+    name = "neurotrainer"
+
+    def describe(self) -> BackendDescriptor:
+        base = default_config()
+        return BackendDescriptor(
+            name=self.name,
+            description=(
+                "NeuroTrainer-style memory-module accelerator: one "
+                "dataflow-specialized programmable PE per vault runs the "
+                "entire training step in-module (~480 GFLOPS aggregate)"
+            ),
+            device_kinds=("cpu", "prog"),
+            placement="static all-in-module (per-layer dataflow mapping)",
+            configurations=("neurotrainer",),
+            default_configuration="neurotrainer",
+            energy_tables={
+                "stack_internal_pj_per_byte": base.stack.internal_pj_per_byte,
+                "stack_external_pj_per_byte": base.stack.external_pj_per_byte,
+            },
+            scheduling={
+                "recursive_kernels": False,
+                "operation_pipeline": False,
+                "offloads": ["FIXED", "HYBRID", "PROG"],
+            },
+            area_mm2=NEUROTRAINER_VAULTS * 1.2,
+            power_w=NEUROTRAINER_VAULTS * 0.6,
+            reference=(
+                "Kim, Kung & Mukhopadhyay, 'NeuroTrainer: An Intelligent "
+                "Memory Module for Deep Learning Training', 2017 "
+                "(arXiv:1710.04347)"
+            ),
+        )
+
+    def build(
+        self,
+        configuration: Optional[str] = None,
+        base: Optional[SystemConfig] = None,
+    ) -> Tuple[SystemConfig, SchedulingPolicy]:
+        from ...errors import ReproError
+
+        name = configuration or "neurotrainer"
+        if name != "neurotrainer":
+            raise ReproError(
+                f"backend 'neurotrainer' has no configuration {name!r}; "
+                "available: ('neurotrainer',)"
+            )
+        if base is None:
+            base = default_config()
+        config = replace(
+            base,
+            backend=self.name,
+            prog_pim=replace(
+                base.prog_pim,
+                name="NeuroTrainer PE array",
+                n_pims=NEUROTRAINER_VAULTS,
+                cores_per_pim=1,
+                frequency_hz=base.stack.base_frequency_hz,
+                flops_per_core_cycle=NEUROTRAINER_FLOPS_PER_PE_CYCLE,
+                # dataflow specialization: non-MAC kernels map as well as
+                # GEMM does — no in-order-scalar penalty
+                other_flop_penalty=1.0,
+                dynamic_power_w_per_pim=0.6,
+                area_mm2_per_pim=1.2,
+            ),
+            # the fixed pool exists physically unused; one unit satisfies
+            # config invariants and is never scheduled
+            fixed_pim=replace(base.fixed_pim, n_units=1),
+        )
+        return config, NeuroTrainerPolicy()

@@ -29,11 +29,13 @@ from ..sim.timeline import Timeline
 #: v3: added ``validation`` (invariant-checker summary of validated runs).
 #: v4: added ``surrogate`` (cost-surrogate mode/bands of the answering
 #: path).
-REPORT_SCHEMA_VERSION = 4
+#: v5: added ``options`` (the resolved :class:`repro.api.SimulateOptions`
+#: of the producing call, including the hardware-backend name).
+REPORT_SCHEMA_VERSION = 5
 
 #: Envelope versions :meth:`RunReport.from_dict` still reads.  Older
-#: versions differ from v4 only by absent fields, which default.
-_READABLE_SCHEMAS = (2, 3, REPORT_SCHEMA_VERSION)
+#: versions differ from v5 only by absent fields, which default.
+_READABLE_SCHEMAS = (2, 3, 4, REPORT_SCHEMA_VERSION)
 
 
 @dataclass(frozen=True)
@@ -143,8 +145,19 @@ class RunReport:
     #: ``{"mode": "exact", "reason": ...}`` when the call fell back to
     #: the simulator.  None when the surrogate was never requested.
     surrogate: Optional[Dict[str, object]] = None
+    #: Resolved options of the producing :func:`repro.api.simulate` call
+    #: (backend, config, steps, observe/validate/surrogate flags, fault
+    #: injection).  None for reports built outside the facade.
+    options: Optional[Dict[str, object]] = None
 
     # -- delegating accessors ------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Hardware backend the run executed on (default when unknown)."""
+        if self.options and self.options.get("backend"):
+            return str(self.options["backend"])
+        return "hmc-hetero"
+
     @property
     def config_name(self) -> str:
         return self.result.config_name
@@ -240,6 +253,7 @@ class RunReport:
             "fault_counts": self.fault_counts,
             "validation": self.validation,
             "surrogate": self.surrogate,
+            "options": self.options,
             "cache_stats": (
                 dict(sorted(self.cache_stats.items()))
                 if self.cache_stats is not None
@@ -261,6 +275,7 @@ class RunReport:
             cache_stats=data.get("cache_stats"),
             validation=data.get("validation"),
             surrogate=data.get("surrogate"),
+            options=data.get("options"),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:

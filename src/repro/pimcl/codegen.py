@@ -147,5 +147,13 @@ def generate_binaries(op: Op) -> Kernel:
         binaries[BinaryKind.PROG] = KernelBinary(BinaryKind.PROG, plan)
     elif cls is OffloadClass.PROG:
         binaries[BinaryKind.PROG] = KernelBinary(BinaryKind.PROG, _prog_plan(op))
+        if op.cost.macs:
+            # MAC-carrying PROG ops (optimizer updates) additionally
+            # compile for the streaming MAC pool: in-DRAM-update backends
+            # (GradPIM) execute them there.  Inert unless a policy places
+            # the op on "fixed" — the paper's policies never do.
+            binaries[BinaryKind.FIXED_FULL] = KernelBinary(
+                BinaryKind.FIXED_FULL, _chunked_mac_plan(op)
+            )
     # HOST ops carry only the CPU binary.
     return Kernel(op=op, binaries=binaries)

@@ -61,7 +61,10 @@ from .results import RunResult
 #: older code instead of being misread.
 # 4: llc_misses clamped >=1 for memory-touching ops feeds the profiler's
 # memory ranks, so selection (and thus results) may differ from v3.
-CACHE_SCHEMA = 4
+# 5: SystemConfig grew the ``backend`` field (hardware-backend registry),
+# which joins the config encoding — v4 fingerprints of identical runs no
+# longer match, so the namespace advances with it.
+CACHE_SCHEMA = 5
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_CACHE"

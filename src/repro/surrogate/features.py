@@ -16,9 +16,12 @@ One run — (graph, prepared policy, system config) — maps to a
 * **features** — log-domain physics quantities (lane work sums, bounds,
   critical path, traffic-over-bandwidth, policy flags) the ridge stage
   regresses the residual on.
-* **key** — the calibration identity ``(graph name, policy family)``:
-  friction is empirically stable within a key across frequency scales
-  and PIM counts, so the model stores one learned correction per key.
+* **key** — the calibration identity ``(graph name, policy family)``,
+  where the family includes the hardware-backend name: friction is
+  empirically stable within a key across frequency scales and PIM
+  counts, so the model stores one learned correction per key — but two
+  backends never share one (their scheduling friction differs even when
+  a policy class is reused).
 
 Everything is per *step*; the model scales by the requested step count.
 """
@@ -329,7 +332,9 @@ def featurize(
         float(policy.prog_gang_limit),
         float(_fault_event_count(faults)),
     )
-    family = policy_family(policy)
+    # the backend name joins the family so calibration never crosses
+    # hardware backends, even where a policy class is reused
+    family = (system.backend,) + policy_family(policy)
     return FeatureBundle(
         features=features,
         anchors=anchors,

@@ -6,6 +6,8 @@ runs; every behavioural knob of a run must reach their keys, or a sweep
 configuration's numbers for another.
 """
 
+import pytest
+
 from repro.baselines import build_configuration
 from repro.config import default_config
 from repro.faults import FaultSpec
@@ -54,6 +56,45 @@ class TestCostTableKeying:
         g1, p1, c1 = _prepared()
         g2, p2, c2 = _prepared()
         assert cost_table(g1, p1, c1) is not cost_table(g2, p2, c2)
+
+
+class TestBackendKeying:
+    """The backend tag must split every memoization layer: two backends
+    with numerically identical sub-configs never share keys."""
+
+    def test_backend_tag_splits_the_fingerprint(self):
+        graph, policy, config = _prepared()
+        retagged = config.with_backend("other-backend")
+        assert sim_cache.run_fingerprint(
+            graph, policy, config
+        ) != sim_cache.run_fingerprint(graph, policy, retagged)
+
+    def test_backend_tag_splits_the_cost_table(self):
+        graph, policy, config = _prepared()
+        retagged = config.with_backend("other-backend")
+        policy.prepare(graph, retagged)
+        try:
+            other = cost_table(graph, policy, retagged)
+        finally:
+            policy.prepare(graph, config)
+        assert cost_table(graph, policy, config) is not other
+
+    def test_backend_tag_splits_the_surrogate_key(self):
+        pytest.importorskip("numpy")
+        from repro.surrogate.features import featurize
+
+        graph, policy, config = _prepared()
+        bundle = featurize(graph, policy, config)
+        retagged = config.with_backend("other-backend")
+        policy.prepare(graph, retagged)
+        try:
+            other = featurize(graph, policy, retagged)
+        finally:
+            policy.prepare(graph, config)
+        assert bundle.family != other.family
+        assert bundle.key != other.key
+        assert config.backend in bundle.family
+        assert "other-backend" in other.family
 
 
 class TestRunFingerprint:

@@ -30,25 +30,25 @@ class TestWithStacks:
 
     def test_more_stacks_train_faster(self):
         from repro.baselines import make_hetero_pim
-        from repro.sim.simulation import simulate
+        from repro.sim.simulation import Simulation
 
         g = build_model("dcgan")
         times = []
         for n in (1, 4):
             cfg, pol = make_hetero_pim(default_config().with_stacks(n))
-            times.append(simulate(g, pol, cfg).step_time_s)
+            times.append(Simulation(g, pol, config=cfg).run().step_time_s)
         assert times[1] < times[0]
 
     def test_scaling_is_sublinear(self):
         """Dependence chains and host-side work bound multi-stack gains."""
         from repro.baselines import make_hetero_pim
-        from repro.sim.simulation import simulate
+        from repro.sim.simulation import Simulation
 
         g = build_model("alexnet")
         cfg1, pol1 = make_hetero_pim(default_config())
         cfg4, pol4 = make_hetero_pim(default_config().with_stacks(4))
-        t1 = simulate(g, pol1, cfg1).step_time_s
-        t4 = simulate(g, pol4, cfg4).step_time_s
+        t1 = Simulation(g, pol1, config=cfg1).run().step_time_s
+        t4 = Simulation(g, pol4, config=cfg4).run().step_time_s
         assert 1.0 < t1 / t4 < 4.0
 
 
@@ -95,13 +95,13 @@ class TestInferenceDerivation:
 
     def test_inference_faster_than_training(self, pair):
         from repro.baselines import make_hetero_pim
-        from repro.sim.simulation import simulate
+        from repro.sim.simulation import Simulation
 
         train, infer = pair
         cfg, pol = make_hetero_pim(default_config())
-        t_train = simulate(train, pol, cfg).step_time_s
+        t_train = Simulation(train, pol, config=cfg).run().step_time_s
         cfg2, pol2 = make_hetero_pim(default_config())
-        t_infer = simulate(infer, pol2, cfg2).step_time_s
+        t_infer = Simulation(infer, pol2, config=cfg2).run().step_time_s
         assert t_infer < 0.5 * t_train
 
     def test_empty_forward_rejected(self):

@@ -11,7 +11,7 @@ from hypothesis import strategies as st
 from repro.baselines import build_configuration
 from repro.config import default_config
 from repro.nn.layers import GraphBuilder
-from repro.sim.simulation import Simulation, simulate
+from repro.sim.simulation import Simulation
 
 
 @st.composite
@@ -46,7 +46,7 @@ def small_training_graph(draw):
 def test_every_policy_completes_and_accounts_time(graph, steps):
     for name in ("cpu", "gpu", "fixed-pim", "hetero-pim"):
         config, policy = build_configuration(name)
-        result = simulate(graph, policy, config, steps=steps)
+        result = Simulation(graph, policy, config=config, steps=steps).run()
         # conservation: simulation finished (would raise on deadlock)
         assert result.makespan_s > 0
         # the three buckets tile the makespan exactly
@@ -61,8 +61,8 @@ def test_every_policy_completes_and_accounts_time(graph, steps):
 def test_hetero_never_slower_than_cpu(graph):
     cfg_cpu, pol_cpu = build_configuration("cpu")
     cfg_het, pol_het = build_configuration("hetero-pim")
-    cpu = simulate(graph, pol_cpu, cfg_cpu)
-    hetero = simulate(graph, pol_het, cfg_het)
+    cpu = Simulation(graph, pol_cpu, config=cfg_cpu).run()
+    hetero = Simulation(graph, pol_het, config=cfg_het).run()
     # offloading may round-trip tiny graphs through launch overheads, but
     # must never lose by more than those overheads
     launch_budget = 0.01  # 10 ms of slack for launch-dominated tiny graphs
@@ -87,11 +87,11 @@ def test_pool_mac_accounting_is_conservative(graph):
 @settings(max_examples=10, deadline=None)
 def test_frequency_never_hurts(graph, scale):
     cfg1, pol1 = build_configuration("hetero-pim")
-    base = simulate(graph, pol1, cfg1)
+    base = Simulation(graph, pol1, config=cfg1).run()
     cfgN, polN = build_configuration(
         "hetero-pim", default_config().with_frequency_scale(scale)
     )
-    scaled = simulate(graph, polN, cfgN)
+    scaled = Simulation(graph, polN, config=cfgN).run()
     # 10% slack: faster clocks shift dispatch timestamps, which can flip
     # greedy placement ties and occasionally pick a slightly worse
     # schedule for tiny graphs; the property is "no systematic harm",

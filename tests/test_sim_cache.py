@@ -11,7 +11,7 @@ from repro.nn.models import build_model
 from repro.runtime.scheduler import HeteroPimPolicy, MixedWorkloadPolicy
 from repro.sim import cache as sim_cache
 from repro.sim.cache import run_fingerprint, simulate_cached
-from repro.sim.simulation import simulate
+from repro.sim.simulation import Simulation
 
 MODEL = "lstm"  # smallest evaluation workload: keeps these tests quick
 
@@ -48,6 +48,17 @@ class TestFingerprint:
         reference = run_fingerprint(graph, policy, config)
         for section_field in dataclasses.fields(config):
             section = getattr(config, section_field.name)
+            if not dataclasses.is_dataclass(section):
+                # scalar top-level field (e.g. the backend tag)
+                assert isinstance(section, str), section_field.name
+                mutated = dataclasses.replace(
+                    config, **{section_field.name: section + "-x"}
+                )
+                assert run_fingerprint(graph, policy, mutated) != reference, (
+                    f"{section_field.name} change did not change the "
+                    "fingerprint"
+                )
+                continue
             for leaf in dataclasses.fields(section):
                 value = getattr(section, leaf.name)
                 if isinstance(value, bool):
@@ -183,7 +194,7 @@ class TestRunner:
             config, policy = build_configuration(config_name)
             jobs.append((build_model(MODEL), policy, config, None))
 
-        serial = [simulate(g, p, c, steps=s) for g, p, c, s in jobs]
+        serial = [Simulation(g, p, config=c, steps=s).run() for g, p, c, s in jobs]
 
         sim_cache.clear()
         runner.set_jobs(4)

@@ -6,7 +6,7 @@ from repro.baselines import build_configuration, make_neurocube
 from repro.config import default_config
 from repro.nn.models import build_model
 from repro.runtime.scheduler import HeteroPimPolicy
-from repro.sim.simulation import Simulation, simulate
+from repro.sim.simulation import Simulation
 
 
 @pytest.fixture(scope="module")
@@ -24,7 +24,7 @@ def results(alexnet):
     out = {}
     for name in ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim"):
         cfg, pol = build_configuration(name)
-        out[name] = simulate(alexnet, pol, cfg)
+        out[name] = Simulation(alexnet, pol, config=cfg).run()
     return out
 
 
@@ -44,7 +44,7 @@ class TestBasics:
 
     def test_single_step_run(self, alexnet):
         cfg, pol = build_configuration("cpu")
-        r = simulate(alexnet, pol, cfg, steps=1)
+        r = Simulation(alexnet, pol, config=cfg, steps=1).run()
         assert r.steps == 1
         assert r.step_time_s == pytest.approx(r.makespan_s)
 
@@ -105,7 +105,7 @@ class TestHeteroPim:
 
     def test_selection_was_prepared(self, alexnet):
         cfg, pol = build_configuration("hetero-pim")
-        simulate(alexnet, pol, cfg)
+        Simulation(alexnet, pol, config=cfg).run()
         assert pol.selection is not None
         assert pol.selection.time_coverage >= cfg.runtime.offload_coverage
 
@@ -122,7 +122,7 @@ class TestFrequencyScaling:
             cfg, pol = build_configuration(
                 "hetero-pim", default_config().with_frequency_scale(scale)
             )
-            times.append(simulate(alexnet, pol, cfg).step_time_s)
+            times.append(Simulation(alexnet, pol, config=cfg).run().step_time_s)
         assert times[0] > times[1] > times[2]
 
     def test_scaling_is_sublinear(self, alexnet):
@@ -131,15 +131,15 @@ class TestFrequencyScaling:
         cfg4, pol4 = build_configuration(
             "hetero-pim", default_config().with_frequency_scale(4.0)
         )
-        t1 = simulate(alexnet, pol1, cfg1).step_time_s
-        t4 = simulate(alexnet, pol4, cfg4).step_time_s
+        t1 = Simulation(alexnet, pol1, config=cfg1).run().step_time_s
+        t4 = Simulation(alexnet, pol4, config=cfg4).run().step_time_s
         assert t1 / t4 < 4.0
 
 
 class TestNeurocube:
     def test_neurocube_between_cpu_and_hetero(self, alexnet, results):
         cfg, pol = make_neurocube()
-        r = simulate(alexnet, pol, cfg)
+        r = Simulation(alexnet, pol, config=cfg).run()
         assert results["hetero-pim"].step_time_s < r.step_time_s
         assert r.step_time_s < results["cpu"].step_time_s
 
@@ -152,8 +152,8 @@ class TestRcOpAblation:
             default_config(), recursive_kernels=False, operation_pipeline=False
         )
         cfg_on, pol_on = make_hetero_pim(default_config())
-        off = simulate(dcgan, pol_off, cfg_off)
-        on = simulate(dcgan, pol_on, cfg_on)
+        off = Simulation(dcgan, pol_off, config=cfg_off).run()
+        on = Simulation(dcgan, pol_on, config=cfg_on).run()
         assert on.step_time_s < off.step_time_s
         assert on.fixed_pim_utilization > off.fixed_pim_utilization
 
