@@ -1,0 +1,57 @@
+"""Benchmark SERVE — ``repro serve`` request latency and throughput.
+
+An in-process daemon (fresh throwaway cache) answers one cold request
+(real simulation) and then a warm load of identical requests served from
+the report store.  Reported: cold latency, warm p50/p99 (milliseconds),
+and sustained warm requests per second.  ``tools/check_perf.py`` gates
+the warm p99 against the budget committed in ``BENCH_summary.json``.
+"""
+
+import os
+import tempfile
+
+from repro.serve import start_in_thread
+from repro.serve.bench import run_load
+
+from conftest import emit
+
+REQUEST = {"model": "alexnet", "steps": 2}
+WARM_ITERATIONS = 50
+
+
+def _measure() -> dict:
+    prior = os.environ.get("REPRO_CACHE_DIR")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        handle = start_in_thread(workers=2)
+        try:
+            cold = run_load(handle.host, handle.port, REQUEST, iterations=1)
+            warm = run_load(
+                handle.host, handle.port, REQUEST, iterations=WARM_ITERATIONS
+            )
+        finally:
+            handle.stop()
+            if prior is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = prior
+    return {"cold": cold, "warm": warm}
+
+
+def test_serve(benchmark):
+    """Cold + warm serving profile of one daemon."""
+    result = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    cold, warm = result["cold"], result["warm"]
+    emit(
+        "serve",
+        "\n".join(
+            [
+                f"cold request        {cold['mean_ms']:10.1f} ms",
+                f"warm p50            {warm['p50_ms']:10.2f} ms",
+                f"warm p99            {warm['p99_ms']:10.2f} ms",
+                f"warm throughput     {warm['rps']:10.1f} req/s "
+                f"({WARM_ITERATIONS} requests)",
+            ]
+        ),
+    )
+    assert warm["p99_ms"] > 0 and warm["rps"] > 0

@@ -55,14 +55,15 @@ def pytest_sessionfinish(session, exitstatus):
         },
         "figures": _records,
     }
-    # the experiment-summary perf budget (tools/check_perf.py --update)
-    # lives in the same file; a benchmark run must not erase it
+    # the perf budgets (tools/check_perf.py --update) live in the same
+    # file; a benchmark run must not erase them
     try:
         import json
 
         prior = json.loads(SUMMARY_PATH.read_text())
-        if "experiment_summary" in prior:
-            summary["experiment_summary"] = prior["experiment_summary"]
+        for budget_key in ("experiment_summary", "serve"):
+            if budget_key in prior:
+                summary[budget_key] = prior[budget_key]
     except (OSError, ValueError):
         pass
     write_atomic(SUMMARY_PATH, canonical_dumps(summary, indent=2) + "\n")

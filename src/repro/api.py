@@ -208,6 +208,39 @@ class SimulateOptions:
         return _dc_replace(self, **updates) if updates else self
 
 
+def _resolve_run(
+    model: str,
+    config: Optional[str],
+    batch_size: Optional[int],
+    frequency_scale: float,
+    base: Optional[SystemConfig],
+    backend: str,
+) -> Tuple[Graph, SystemConfig, SchedulingPolicy, str]:
+    """Resolve one request to concrete simulator inputs.
+
+    Shared by :func:`simulate` and :class:`Session` so that a served
+    request and a direct call always agree on the graph/config/policy
+    (and therefore on the cache fingerprint).  Returns ``(graph, system,
+    policy, resolved_config_name)``.
+    """
+    if frequency_scale != 1.0:
+        if base is None:
+            scaled = _scaled_base_cache.get(frequency_scale)
+            if scaled is None:
+                scaled = default_config().with_frequency_scale(frequency_scale)
+                _scaled_base_cache[frequency_scale] = scaled
+            base = scaled
+        else:
+            base = base.with_frequency_scale(frequency_scale)
+    graph = cached_graph(model, batch_size)
+    if config is None:
+        from .hardware import registry
+
+        config = registry.get(backend).default_configuration
+    system, policy = resolve_configuration(config, base, backend=backend)
+    return graph, system, policy, config
+
+
 def _resolved_options_record(
     opts: SimulateOptions,
     config_name: str,
@@ -314,21 +347,9 @@ def simulate(
     )
     observe, faults = opts.observe, opts.faults
     validate, surrogate = opts.validate, opts.surrogate
-    if frequency_scale != 1.0:
-        if base is None:
-            scaled = _scaled_base_cache.get(frequency_scale)
-            if scaled is None:
-                scaled = default_config().with_frequency_scale(frequency_scale)
-                _scaled_base_cache[frequency_scale] = scaled
-            base = scaled
-        else:
-            base = base.with_frequency_scale(frequency_scale)
-    graph = cached_graph(model, batch_size)
-    if config is None:
-        from .hardware import registry
-
-        config = registry.get(opts.backend).default_configuration
-    system, policy = resolve_configuration(config, base, backend=opts.backend)
+    graph, system, policy, config = _resolve_run(
+        model, config, batch_size, frequency_scale, base, opts.backend
+    )
     if validate is None:
         validate = sim_cache.validation_enabled()
     options_record = _resolved_options_record(
@@ -419,6 +440,103 @@ def simulate(
         surrogate=surrogate_info,
         options=options_record,
     )
+
+
+def canonical_report(report: RunReport) -> RunReport:
+    """``report`` with call-local jitter removed.
+
+    Cache statistics (cold vs warm) and the live timeline are properties
+    of one *call*, not of the simulated run; dropping them makes
+    ``to_json()`` byte-identical for the same request whatever the cache
+    temperature or worker interleaving.  The serve daemon stores and
+    serves exactly this form, and ``repro run --report-out`` writes it,
+    so the two are byte-comparable.
+    """
+    return RunReport(
+        result=report.result,
+        validation=report.validation,
+        surrogate=report.surrogate,
+        options=report.options,
+    )
+
+
+class Session:
+    """Stateful, tenant-aware facade path over :func:`simulate`.
+
+    Long-lived consumers — the serve daemon foremost — need three things
+    the one-shot function does not expose:
+
+    * a **tenant identity** under which all cache traffic is accounted
+      (:func:`repro.sim.cache.tenant_scope`);
+    * the **request fingerprint** *before* running, so identical
+      in-flight requests can be deduplicated onto one simulation;
+    * **canonical reports** (:func:`canonical_report`) whose JSON is
+      byte-identical for the same request no matter when, or on which
+      cache temperature, it was answered.
+
+    A ``Session`` is cheap (no resources besides the process-wide caches
+    it shares) and safe to call from worker threads.
+    """
+
+    def __init__(self, tenant: str = "default"):
+        if not tenant or "/" in tenant or tenant.startswith("."):
+            raise ValueError(f"invalid tenant name {tenant!r}")
+        self.tenant = tenant
+
+    def fingerprint(
+        self,
+        model: str,
+        config: Optional[str] = None,
+        steps: int = 3,
+        *,
+        batch_size: Optional[int] = None,
+        frequency_scale: float = 1.0,
+        backend: Optional[str] = None,
+        surrogate: bool = False,
+    ) -> str:
+        """Content fingerprint of the request — the dedup/report key.
+
+        Identical requests (after config/backend defaulting) map to the
+        same fingerprint; a surrogate-answered request can never collide
+        with the exact simulation of the same inputs.
+        """
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        graph, system, policy, _name = _resolve_run(
+            model,
+            config,
+            batch_size,
+            frequency_scale,
+            None,
+            backend if backend is not None else DEFAULT_BACKEND,
+        )
+        digest = sim_cache.run_fingerprint(graph, policy, system, steps)
+        return f"{digest}-est" if surrogate else digest
+
+    def simulate(
+        self,
+        model: str,
+        config: Optional[str] = None,
+        steps: int = 3,
+        *,
+        batch_size: Optional[int] = None,
+        frequency_scale: float = 1.0,
+        backend: Optional[str] = None,
+        surrogate: bool = False,
+    ) -> RunReport:
+        """Run (or fetch) one simulation under this session's tenant and
+        return the canonical report (see :func:`canonical_report`)."""
+        with sim_cache.tenant_scope(self.tenant):
+            report = simulate(
+                model,
+                config,
+                steps,
+                batch_size=batch_size,
+                frequency_scale=frequency_scale,
+                surrogate=surrogate,
+                backend=backend,
+            )
+        return canonical_report(report)
 
 
 def _validation_summary(result, prior) -> Dict[str, object]:

@@ -25,6 +25,9 @@ Commands:
   cost surrogate (:mod:`repro.surrogate`) from already-cached simulation
   results; ``run --surrogate`` / ``experiment --surrogate`` then answer
   from it;
+* ``serve`` — long-lived HTTP/JSON simulation service
+  (:mod:`repro.serve`): request dedup, per-tenant quotas, journal-backed
+  restart recovery, byte-identical stored reports;
 * ``models`` / ``configs`` / ``backends`` — list available workloads,
   configurations and registered hardware backends.
 
@@ -133,6 +136,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="answer from the learned cost surrogate "
                           "(estimated, with error bands) when possible; "
                           "train one first with 'repro surrogate train'")
+    run.add_argument(
+        "--report-out", metavar="PATH", default=None,
+        help="write the canonical RunReport JSON (the byte-identical "
+             "form 'repro serve' stores and serves) to PATH",
+    )
 
     profile = sub.add_parser("profile", help="CPU characterization (Table I)")
     profile.add_argument("model", choices=available_models())
@@ -261,6 +269,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="score the saved surrogate against cached exact results",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP/JSON simulation service (dedup, quotas, durable reports)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="address to bind (default: loopback; put a reverse proxy "
+             "in front for anything else)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = ephemeral; the bound port is "
+             "printed to stderr)",
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="simulation worker threads draining the request queue "
+             "(default: 2)",
+    )
+    serve.add_argument(
+        "--quota", default=None, metavar="RATE[:BURST]",
+        help="per-tenant admission quota: RATE fresh simulations per "
+             "second, optional BURST bucket size (default: unlimited; "
+             "dedup'd and stored-report requests are never charged)",
+    )
+    serve.add_argument(
+        "--no-resume", action="store_true",
+        help="do not recover accepted-but-unserved requests from "
+             "prior daemons' journals on startup",
+    )
+
     sub.add_parser("models", help="list available training workloads")
     sub.add_parser("configs", help="list evaluated system configurations")
     sub.add_parser(
@@ -332,6 +371,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.timeline and report.timeline is not None:
         print()
         print(report.timeline.render())
+    if args.report_out:
+        from pathlib import Path
+
+        from .experiments.common import write_atomic
+
+        text = api.canonical_report(report).to_json() + "\n"
+        write_atomic(Path(args.report_out), text)
+        print(f"  report             -> {args.report_out}", file=sys.stderr)
     return 0
 
 
@@ -468,6 +515,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"disk bytes    {usage['disk_bytes']}")
         for key, value in sorted(sim_cache.stats().items()):
             print(f"{key:13s} {value}")
+        tenants = sim_cache.tenant_disk_usage()
+        if tenants["tenants"]:
+            # entries referenced by several tenants are counted once in
+            # the union/shared lines — per-tenant rows overlap by design
+            print("tenants:")
+            for name, row in sorted(tenants["tenants"].items()):
+                print(f"  {name:15s} {row['entries']:6d} entries "
+                      f"{row['bytes']:12d} bytes")
+            print(f"  {'(shared)':15s} {tenants['shared_entries']:6d} entries "
+                  f"{tenants['shared_bytes']:12d} bytes "
+                  "(referenced by >1 tenant; counted once below)")
+            print(f"  {'(union)':15s} {tenants['union_entries']:6d} entries "
+                  f"{tenants['union_bytes']:12d} bytes")
         return 0
     if args.cache_command == "prune":
         outcome = sim_cache.prune(args.max_bytes)
@@ -634,6 +694,68 @@ def _print_surrogate_bands() -> None:
     print(f"surrogate error bands (leave-one-out, declared): {bands}")
 
 
+def _parse_quota(text: Optional[str]) -> tuple:
+    """Parse ``--quota RATE[:BURST]`` into ``(rate, burst)``."""
+    if text is None:
+        return 0.0, None
+    raw_rate, sep, raw_burst = text.partition(":")
+    try:
+        rate = float(raw_rate)
+        burst = float(raw_burst) if sep else None
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a quota: {text!r} (use RATE or RATE:BURST, e.g. 2 or 2:10)"
+        )
+    if rate <= 0:
+        raise argparse.ArgumentTypeError(
+            f"quota rate must be > 0, got {raw_rate!r}"
+        )
+    if burst is not None and burst < 1:
+        raise argparse.ArgumentTypeError(
+            f"quota burst must be >= 1, got {raw_burst!r}"
+        )
+    return rate, burst
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ServeDaemon
+
+    try:
+        rate, burst = _parse_quota(args.quota)
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def announce(daemon: ServeDaemon) -> None:
+        quota = f"{rate:g}/s" if rate else "unlimited"
+        print(
+            f"repro serve listening on {daemon.host}:{daemon.port} "
+            f"({daemon.workers} workers, quota {quota}, "
+            f"{daemon.stats.recovered} requests recovered)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quota_rate=rate,
+        quota_burst=burst,
+        resume=not args.no_resume,
+        on_start=announce,
+    )
+    try:
+        asyncio.run(daemon.run())
+    except OSError as exc:  # e.g. port already bound
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("repro serve drained and stopped", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.jobs is not None:
@@ -658,6 +780,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_resume(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "faults":

@@ -150,3 +150,23 @@ class Interrupted(ExecutionError):
 class CacheInconsistency(ExecutionError):
     """Raised when the result cache contradicts itself mid-batch — e.g. a
     job the runner just completed and stored cannot be read back."""
+
+
+class ServeError(ReproError):
+    """Raised by the simulation-as-a-service layer (:mod:`repro.serve`)."""
+
+
+class ProtocolError(ServeError):
+    """Raised for a malformed or invalid service request.
+
+    Carries the HTTP ``status`` the daemon should answer with (400 for
+    bad bodies/fields, 404 for unknown resources, and so on).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class QuotaExceeded(ServeError):
+    """Raised when a tenant's token bucket has no capacity left."""

@@ -33,6 +33,7 @@ numerically identical sub-configs can never share cached state.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from abc import ABC, abstractmethod
 from dataclasses import asdict, dataclass, field
@@ -154,6 +155,7 @@ class HardwareBackend(ABC):
 
 
 _REGISTRY: Dict[str, HardwareBackend] = {}
+_load_lock = threading.Lock()
 _builtins_loaded = False
 _entry_points_loaded = False
 
@@ -237,14 +239,24 @@ def build(
 
 
 def _ensure_loaded() -> None:
-    """Load builtin backends, then third-party entry points, once."""
+    """Load builtin backends, then third-party entry points, once.
+
+    Thread-safe: the serve daemon fingerprints requests on worker
+    threads, so first touch can be concurrent.  The flags flip only
+    *after* registration completes — a reader that grabs the lock next
+    never observes a half-populated registry.
+    """
     global _builtins_loaded, _entry_points_loaded
-    if not _builtins_loaded:
-        _builtins_loaded = True
-        from . import backends  # noqa: F401  (registers on import)
-    if not _entry_points_loaded:
-        _entry_points_loaded = True
-        _load_entry_points()
+    if _builtins_loaded and _entry_points_loaded:
+        return
+    with _load_lock:
+        if not _builtins_loaded:
+            from . import backends  # noqa: F401  (registers on import)
+
+            _builtins_loaded = True
+        if not _entry_points_loaded:
+            _load_entry_points()
+            _entry_points_loaded = True
 
 
 def _load_entry_points() -> None:

@@ -22,6 +22,7 @@ from .metrics import (
     NULL_REGISTRY,
     Counter,
     Gauge,
+    Histogram,
     MetricsRegistry,
     TimeWeighted,
     merge_snapshots,
@@ -30,10 +31,12 @@ from .metrics import (
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "RunReport",
     "TimeWeighted",
+    "build_request_trace_events",
     "build_trace_events",
     "export_chrome_trace",
     "merge_snapshots",
@@ -42,6 +45,10 @@ __all__ = [
 
 _LAZY = {
     "RunReport": ("repro.obs.report", "RunReport"),
+    "build_request_trace_events": (
+        "repro.obs.trace",
+        "build_request_trace_events",
+    ),
     "build_trace_events": ("repro.obs.trace", "build_trace_events"),
     "export_chrome_trace": ("repro.obs.trace", "export_chrome_trace"),
     "validate_chrome_trace": ("repro.obs.trace", "validate_chrome_trace"),

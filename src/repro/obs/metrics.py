@@ -85,12 +85,84 @@ class TimeWeighted:
         return self.integral(now) / now
 
 
+#: Default bucket upper bounds of a :class:`Histogram` — a decade-spanning
+#: latency ladder (milliseconds when observing latencies, but unit-free).
+DEFAULT_BUCKETS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimates.
+
+    ``observe(v)`` drops ``v`` into the first bucket whose upper bound is
+    >= v (the last bucket is an implicit +inf overflow).  ``quantile(q)``
+    interpolates linearly inside the winning bucket — exact enough for
+    p50/p99 serving-latency reporting, bounded memory whatever the request
+    volume.  The snapshot value is the bucket-count tuple.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total")
+
+    def __init__(self, name: str, bounds: Tuple[float, ...] = DEFAULT_BUCKETS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"{name}: bucket bounds must be ascending")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)  # overflow unless a bound catches it
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = (
+                    self.bounds[i]
+                    if i < len(self.bounds)
+                    else max(self.bounds[-1], self.total / self.count)
+                )
+                fraction = (rank - seen) / n
+                return lo + (hi - lo) * min(1.0, max(0.0, fraction))
+            seen += n
+        return self.bounds[-1]
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def value(self) -> Tuple[float, ...]:
+        return tuple(self.counts)
+
+
 class _NullInstrument:
     """Shared do-nothing instrument handed out by a disabled registry."""
 
     __slots__ = ()
     name = "<null>"
     value: Value = 0
+    count = 0
+    total = 0.0
 
     def inc(self, n: float = 1) -> None:
         pass
@@ -98,10 +170,16 @@ class _NullInstrument:
     def set(self, value, now: float = 0.0) -> None:
         pass
 
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
     def integral(self, now: float) -> float:
         return 0.0
 
-    def mean(self, now: float) -> float:
+    def mean(self, now: float = 0.0) -> float:
         return 0.0
 
 
@@ -121,9 +199,16 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._time_weighted: Dict[str, TimeWeighted] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     def _check_free(self, name: str, kind: Dict) -> None:
-        for other in (self._counters, self._gauges, self._time_weighted):
+        tables = (
+            self._counters,
+            self._gauges,
+            self._time_weighted,
+            self._histograms,
+        )
+        for other in tables:
             if other is not kind and name in other:
                 raise ValueError(
                     f"metric {name!r} already registered as a different type"
@@ -157,6 +242,17 @@ class MetricsRegistry:
             inst = self._time_weighted[name] = TimeWeighted(name)
         return inst
 
+    def histogram(
+        self, name: str, bounds: Tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._check_free(name, self._histograms)
+            inst = self._histograms[name] = Histogram(name, bounds)
+        return inst
+
     # -- bulk updates ---------------------------------------------------
     def update(self, values: Dict[str, Value]) -> None:
         """Set one gauge per (name, value) pair."""
@@ -167,7 +263,10 @@ class MetricsRegistry:
 
     def names(self) -> List[str]:
         return sorted(
-            set(self._counters) | set(self._gauges) | set(self._time_weighted)
+            set(self._counters)
+            | set(self._gauges)
+            | set(self._time_weighted)
+            | set(self._histograms)
         )
 
     def snapshot(self, now: float = 0.0) -> Dict[str, Value]:
@@ -184,6 +283,8 @@ class MetricsRegistry:
             out[name] = gauge.value
         for name, tw in self._time_weighted.items():
             out[name] = tw.integral(now)
+        for name, hist in self._histograms.items():
+            out[name] = hist.value
         return {name: out[name] for name in sorted(out)}
 
 

@@ -38,6 +38,11 @@ _QUEUE_TID_OFFSET = 100
 #: tid of the fault-injection lane (fault events, retries, degradations).
 _FAULT_TID = 90
 
+#: tid of the serve-daemon request-lifecycle lane (queue wait + execution
+#: spans per accepted ``POST /v1/simulate``) and its queue sub-lane.
+_REQUEST_TID = 95
+_REQUEST_QUEUE_TID = 96
+
 
 def build_trace_events(
     timeline: Union[Timeline, Iterable[TimelineEntry]],
@@ -257,6 +262,105 @@ def build_trace_events(
             }
         )
 
+    events.sort(key=lambda ev: (ev["ts"], ev["tid"], ev["name"]))
+    return meta + events
+
+
+def build_request_trace_events(
+    lifecycle: Iterable[Dict],
+    *,
+    process_name: str = "repro serve",
+) -> List[Dict]:
+    """Trace Event dicts for serve-daemon request lifecycles.
+
+    ``lifecycle`` is an iterable of request records as kept by
+    :class:`repro.serve.daemon.ServeDaemon`: dicts with ``id``,
+    ``tenant``, ``model``/``config``/``backend``, monotonic offsets
+    ``received_s``/``started_s``/``finished_s`` (seconds since daemon
+    start; unfinished phases may be ``None``), terminal ``status`` and
+    the ``dedup`` waiter count.  Each request renders as a queue-wait
+    span on the "request queue" lane and an execution span on the
+    "requests" lane, so a daemon's serving behavior (dedup fan-in, queue
+    buildup, per-request latency) is inspectable in Perfetto exactly
+    like a simulated schedule.
+    """
+    meta: List[Dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _REQUEST_TID,
+            "args": {"name": "requests"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _REQUEST_QUEUE_TID,
+            "args": {"name": "request queue"},
+        },
+    ]
+    events: List[Dict] = []
+    for record in lifecycle:
+        label = str(record.get("model", "?"))
+        if record.get("config"):
+            label = f"{label}/{record['config']}"
+        args = {
+            "id": record.get("id"),
+            "tenant": record.get("tenant"),
+            "backend": record.get("backend"),
+            "status": record.get("status"),
+            "dedup": record.get("dedup", 0),
+        }
+        received = record.get("received_s")
+        started = record.get("started_s")
+        finished = record.get("finished_s")
+        if received is not None and started is not None:
+            events.append(
+                {
+                    "name": f"queued:{label}",
+                    "cat": "serve-queue",
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": _REQUEST_QUEUE_TID,
+                    "ts": received * 1e6,
+                    "dur": max(0.0, (started - received) * 1e6),
+                    "args": args,
+                }
+            )
+        if started is not None and finished is not None:
+            events.append(
+                {
+                    "name": label,
+                    "cat": "serve-request",
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": _REQUEST_TID,
+                    "ts": started * 1e6,
+                    "dur": max(0.0, (finished - started) * 1e6),
+                    "args": args,
+                }
+            )
+        elif received is not None and finished is None:
+            events.append(
+                {
+                    "name": f"pending:{label}",
+                    "cat": "serve-request",
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": _REQUEST_TID,
+                    "ts": received * 1e6,
+                    "args": args,
+                }
+            )
     events.sort(key=lambda ev: (ev["ts"], ev["tid"], ev["name"]))
     return meta + events
 

@@ -1,0 +1,30 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon.
+
+One asyncio process (stdlib only) that exposes the simulator over
+HTTP/JSON with request dedup, per-tenant quotas, journal-backed
+durability and byte-identical report serving.  See
+:mod:`repro.serve.daemon` for the serving contract, ``docs/
+architecture.md`` §14 for the design, and ``tools/check_serve.py`` for
+the CI-enforced behavioural spec.
+"""
+
+from .daemon import DaemonHandle, ServeDaemon, start_in_thread
+from .protocol import (
+    DEFAULT_TENANT,
+    SERVE_SCHEMA,
+    SimulateRequest,
+    parse_simulate_request,
+)
+from .quota import QuotaTable, TokenBucket
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "DaemonHandle",
+    "SERVE_SCHEMA",
+    "ServeDaemon",
+    "SimulateRequest",
+    "QuotaTable",
+    "TokenBucket",
+    "parse_simulate_request",
+    "start_in_thread",
+]

@@ -1,0 +1,146 @@
+"""Minimal HTTP/1.1 layer over asyncio streams (stdlib only).
+
+The serve daemon speaks just enough HTTP for JSON request/response
+traffic from ``curl``, load generators and the test-suite client:
+
+* request line + headers + optional ``Content-Length`` body;
+* one request per connection (``Connection: close`` on every response —
+  the daemon's latency budget is dominated by simulation, not TCP
+  handshakes, and close-per-request keeps the state machine trivial);
+* hard limits on header and body size so a misbehaving client cannot
+  balloon daemon memory.
+
+Deliberately *not* here: TLS, chunked transfer, keep-alive, HTTP/2.
+The daemon binds to loopback by default; anything fancier belongs in a
+reverse proxy in front of it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from ..errors import ProtocolError
+
+#: Upper bound on the request head (request line + headers).
+MAX_HEAD_BYTES = 32 * 1024
+
+#: Upper bound on a request body (simulate requests are tiny JSON).
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str  # raw request target, query string included
+    headers: Dict[str, str]  # keys lower-cased
+    body: bytes = b""
+    path: str = field(init=False)
+    query: Dict[str, str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        split = urlsplit(self.target)
+        self.path = unquote(split.path) or "/"
+        self.query = dict(parse_qsl(split.query))
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Request]:
+    """Read one request from ``reader``.
+
+    Returns ``None`` on a clean EOF before any bytes (client closed an
+    idle connection); raises :class:`~repro.errors.ProtocolError` with
+    the HTTP status to answer for anything malformed or over-limit.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("truncated request head", status=400)
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request head too large", status=431)
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError("request head too large", status=431)
+
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise ProtocolError("undecodable request head", status=400)
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise ProtocolError(f"malformed request line {lines[0]!r}", status=400)
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header {line!r}", status=400)
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(
+            f"invalid content-length {length_text!r}", status=400
+        )
+    if length < 0:
+        raise ProtocolError(f"invalid content-length {length}", status=400)
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError(
+            f"body of {length} bytes exceeds {MAX_BODY_BYTES}", status=413
+        )
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("truncated request body", status=400)
+    return Request(method=method, target=target, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    extra_headers: Optional[List[Tuple[str, str]]] = None,
+) -> bytes:
+    """Serialize one complete ``Connection: close`` response."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in extra_headers or ():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

@@ -1,0 +1,100 @@
+"""Per-tenant token-bucket admission control.
+
+Every tenant gets an independent bucket: ``burst`` tokens of capacity,
+refilled continuously at ``rate`` tokens/second.  Admitting a request
+costs one token; a dry bucket means 429.  Deduplicated requests and
+re-served stored reports are free — the quota protects *simulation*
+capacity, which is the only scarce resource, not cache lookups.
+
+``rate <= 0`` disables quotas entirely (every tenant always admitted),
+which is the daemon default; CI and multi-tenant deployments pass
+``--quota RATE[:BURST]``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from ..errors import ServeError
+
+
+class TokenBucket:
+    """One tenant's bucket (monotonic-clock refill)."""
+
+    __slots__ = ("rate", "burst", "tokens", "_last", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if burst < 1:
+            raise ServeError(f"quota burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    @property
+    def remaining(self) -> float:
+        self._refill()
+        return self.tokens
+
+
+class QuotaTable:
+    """Token buckets keyed by tenant, plus admission counters."""
+
+    def __init__(self, rate: float = 0.0, burst: Optional[float] = None):
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, rate)
+        self.enabled = self.rate > 0
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._admitted: Dict[str, int] = {}
+        self._rejected: Dict[str, int] = {}
+
+    def admit(self, tenant: str) -> bool:
+        """Charge one request to ``tenant``; False when over quota."""
+        if not self.enabled:
+            self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(self.rate, self.burst)
+        if bucket.try_acquire():
+            self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+            return True
+        self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
+        return False
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant admission state for ``/v1/healthz``."""
+        tenants = set(self._admitted) | set(self._rejected) | set(
+            self._buckets
+        )
+        out: Dict[str, Dict[str, object]] = {}
+        for tenant in sorted(tenants):
+            bucket = self._buckets.get(tenant)
+            out[tenant] = {
+                "admitted": self._admitted.get(tenant, 0),
+                "rejected": self._rejected.get(tenant, 0),
+                "remaining_tokens": (
+                    round(bucket.remaining, 3) if bucket is not None else None
+                ),
+            }
+        return out

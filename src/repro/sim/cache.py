@@ -44,9 +44,11 @@ import dataclasses
 import hashlib
 import os
 import tempfile
+import threading
 import weakref
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from ..config import SystemConfig
 from ..nn.graph import Graph
@@ -100,6 +102,144 @@ _ENV_VALIDATE = "REPRO_VALIDATE"
 def validation_enabled() -> bool:
     """True when ``REPRO_VALIDATE`` requests invariant-checked runs."""
     return os.environ.get(_ENV_VALIDATE, "0") not in ("0", "")
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant accounting
+# ---------------------------------------------------------------------------
+#: Both tiers are *shared* across tenants — a result is content-addressed,
+#: so whoever computes it first serves everyone after — but the serve
+#: daemon needs to know who is using what.  A thread-local tenant scope
+#: attributes hits/misses/stores, and every fingerprint a tenant touches
+#: is appended (once) to ``<cache-dir>/tenants/<tenant>.idx`` so disk
+#: footprints can be broken down per namespace.  Entries referenced by
+#: several tenants are *shared*: :func:`tenant_disk_usage` reports their
+#: bytes once in the combined total, never once per tenant.
+_tenant_local = threading.local()
+
+_tenant_stats: Dict[str, Dict[str, int]] = {}
+
+#: Fingerprints already journaled per tenant (write-once dedup).
+_tenant_seen: Dict[str, Set[str]] = {}
+
+_tenant_lock = threading.Lock()
+
+
+@contextmanager
+def tenant_scope(tenant: Optional[str]):
+    """Attribute cache traffic in the block to ``tenant`` (thread-local)."""
+    previous = getattr(_tenant_local, "name", None)
+    _tenant_local.name = tenant
+    try:
+        yield
+    finally:
+        _tenant_local.name = previous
+
+
+def current_tenant() -> Optional[str]:
+    return getattr(_tenant_local, "name", None)
+
+
+def _tenants_dir() -> Path:
+    return cache_dir() / "tenants"
+
+
+def _valid_tenant(tenant: str) -> bool:
+    return bool(tenant) and "/" not in tenant and not tenant.startswith(".")
+
+
+def _note_tenant(counter: str, fingerprint: Optional[str] = None) -> None:
+    """Charge one event (and optionally one touched fingerprint) to the
+    current tenant scope; a no-op outside any scope."""
+    tenant = current_tenant()
+    if tenant is None or not _valid_tenant(tenant):
+        return
+    with _tenant_lock:
+        stats = _tenant_stats.setdefault(
+            tenant, {"hits": 0, "misses": 0, "stores": 0}
+        )
+        stats[counter] += 1
+        if fingerprint is None:
+            return
+        seen = _tenant_seen.get(tenant)
+        if seen is None:
+            seen = _tenant_seen[tenant] = _load_tenant_index(tenant)
+        if fingerprint in seen:
+            return
+        seen.add(fingerprint)
+    if disk_enabled():
+        try:
+            directory = _tenants_dir()
+            directory.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                directory / f"{tenant}.idx",
+                os.O_APPEND | os.O_CREAT | os.O_WRONLY,
+                0o644,
+            )
+            try:
+                os.write(fd, (fingerprint + "\n").encode())
+            finally:
+                os.close(fd)
+        except OSError:
+            pass  # accounting degrades, the cache itself is unaffected
+
+
+def _load_tenant_index(tenant: str) -> Set[str]:
+    try:
+        text = (_tenants_dir() / f"{tenant}.idx").read_text()
+    except OSError:
+        return set()
+    return {line.strip() for line in text.splitlines() if line.strip()}
+
+
+def tenant_stats() -> Dict[str, Dict[str, int]]:
+    """Per-tenant hit/miss/store counters since process start."""
+    with _tenant_lock:
+        return {name: dict(stats) for name, stats in _tenant_stats.items()}
+
+
+def tenant_disk_usage() -> Dict[str, object]:
+    """Disk footprint per tenant, with cross-tenant shared bytes once.
+
+    Returns ``{"tenants": {name: {"entries": n, "bytes": b}},
+    "shared_entries": k, "shared_bytes": s, "union_entries": u,
+    "union_bytes": t}``.  A tenant's ``bytes`` is what *it* references;
+    because the tier is content-addressed and shared, entries referenced
+    by more than one tenant exist on disk exactly once, so the combined
+    ``union_bytes`` counts each of them once — never once per tenant.
+    """
+    directory = _tenants_dir()
+    references: Dict[str, Set[str]] = {}
+    if directory.is_dir():
+        for index in sorted(directory.glob("*.idx")):
+            references[index.stem] = _load_tenant_index(index.stem)
+    per_tenant: Dict[str, Dict[str, int]] = {}
+    sizes: Dict[str, int] = {}
+    claims: Dict[str, int] = {}
+    for tenant, prints in references.items():
+        entries = 0
+        total = 0
+        for fingerprint in prints:
+            if fingerprint not in sizes:
+                try:
+                    sizes[fingerprint] = _object_path(fingerprint).stat().st_size
+                except OSError:
+                    sizes[fingerprint] = -1  # pruned/absent: skip everywhere
+            size = sizes[fingerprint]
+            if size < 0:
+                continue
+            claims[fingerprint] = claims.get(fingerprint, 0) + 1
+            entries += 1
+            total += size
+        per_tenant[tenant] = {"entries": entries, "bytes": total}
+    shared = [fp for fp, n in claims.items() if n > 1]
+    return {
+        "tenants": per_tenant,
+        "shared_entries": len(shared),
+        "shared_bytes": sum(sizes[fp] for fp in shared),
+        "union_entries": len(claims),
+        "union_bytes": sum(sizes[fp] for fp in claims),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -258,6 +398,7 @@ def get(fingerprint: str) -> Optional[RunResult]:
     result = _memory.get(fingerprint)
     if result is not None:
         _stats["memory_hits"] += 1
+        _note_tenant("hits", fingerprint)
         return result
     if disk_enabled():
         path = _object_path(fingerprint)
@@ -271,12 +412,14 @@ def get(fingerprint: str) -> Optional[RunResult]:
         if isinstance(result, RunResult):
             _memory[fingerprint] = result
             _stats["disk_hits"] += 1
+            _note_tenant("hits", fingerprint)
             try:
                 os.utime(path)  # refresh mtime: prune() evicts LRU-first
             except OSError:
                 pass
             return result
     _stats["misses"] += 1
+    _note_tenant("misses")
     return None
 
 
@@ -284,6 +427,7 @@ def put(fingerprint: str, result: RunResult) -> None:
     """Store a result in both tiers (atomic on disk)."""
     _memory[fingerprint] = result
     _stats["stores"] += 1
+    _note_tenant("stores", fingerprint)
     if not disk_enabled():
         return
     path = _object_path(fingerprint)
@@ -304,8 +448,18 @@ def put(fingerprint: str, result: RunResult) -> None:
 def clear(disk: bool = True) -> None:
     """Drop the memory tier and (by default) this cache dir's disk tier."""
     _memory.clear()
+    with _tenant_lock:
+        _tenant_stats.clear()
+        _tenant_seen.clear()
     if not disk:
         return
+    tenants = _tenants_dir()
+    if tenants.is_dir():
+        for index in tenants.glob("*.idx"):
+            try:
+                index.unlink()
+            except OSError:
+                pass
     objects = cache_dir() / "objects"
     if not objects.is_dir():
         return

@@ -1,0 +1,453 @@
+"""The ``repro serve`` daemon: protocol, quotas, dedup, durability.
+
+End-to-end tests run a real daemon (in-thread for speed, subprocess for
+the crash-recovery scenario) against an isolated cache and talk to it
+over real sockets with the raw client from :mod:`repro.serve.bench` —
+the same client the benchmarks and the CI gate use.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.errors import ProtocolError, ServeError
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.serve import start_in_thread
+from repro.serve.bench import http_request, percentile, post_simulate
+from repro.serve.http import read_request, render_response
+from repro.serve.protocol import (
+    DEFAULT_TENANT,
+    SimulateRequest,
+    parse_simulate_request,
+)
+from repro.serve.quota import QuotaTable, TokenBucket
+from repro.sim import cache as sim_cache
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Throwaway cache dir; reset every process-global cache tier."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    sim_cache._memory.clear()
+    sim_cache.reset_stats()
+    with sim_cache._tenant_lock:
+        sim_cache._tenant_stats.clear()
+        sim_cache._tenant_seen.clear()
+    yield
+    sim_cache._memory.clear()
+
+
+# ---------------------------------------------------------------------------
+# protocol
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def test_minimal_request_defaults(self):
+        request = parse_simulate_request(b'{"model": "alexnet"}', {})
+        assert request == SimulateRequest(model="alexnet")
+        assert request.tenant == DEFAULT_TENANT
+
+    def test_tenant_header_fallback_and_body_override(self):
+        from_header = parse_simulate_request(
+            b'{"model": "alexnet"}', {"x-repro-tenant": "team-a"}
+        )
+        assert from_header.tenant == "team-a"
+        from_body = parse_simulate_request(
+            b'{"model": "alexnet", "tenant": "team-b"}',
+            {"x-repro-tenant": "team-a"},
+        )
+        assert from_body.tenant == "team-b"
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            (b"not json", "not valid JSON"),
+            (b"[1, 2]", "JSON object"),
+            (b"{}", "missing field 'model'"),
+            (b'{"model": "nope"}', "unknown model"),
+            (b'{"model": "alexnet", "modle": 1}', "unknown field"),
+            (b'{"model": "alexnet", "steps": 0}', "'steps'"),
+            (b'{"model": "alexnet", "steps": true}', "'steps'"),
+            (b'{"model": "alexnet", "batch_size": -4}', "'batch_size'"),
+            (b'{"model": "alexnet", "frequency_scale": 0}', "positive"),
+            (b'{"model": "alexnet", "surrogate": "yes"}', "'surrogate'"),
+            (b'{"model": "alexnet", "backend": "nope"}', "unknown backend"),
+            (b'{"model": "alexnet", "config": "nope"}', "unknown config"),
+            (b'{"model": "alexnet", "tenant": "../x"}', "invalid tenant"),
+        ],
+    )
+    def test_rejects_with_status_400(self, body, fragment):
+        with pytest.raises(ProtocolError) as err:
+            parse_simulate_request(body, {})
+        assert err.value.status == 400
+        assert fragment in str(err.value)
+
+    def test_round_trips_through_journal_spec(self):
+        """The recovery path rebuilds the identical request from the
+        journaled dict — one validation contract for both paths."""
+        from repro.serve.protocol import build_simulate_request
+
+        original = parse_simulate_request(
+            b'{"model": "lstm", "steps": 2, "priority": 5, "wait": false}',
+            {},
+        )
+        rebuilt = build_simulate_request(original.to_dict(), {})
+        assert rebuilt == original
+
+
+class TestHttpLayer:
+    def _read(self, raw: bytes):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await read_request(reader)
+
+        return asyncio.run(go())
+
+    def test_parses_request_line_headers_body(self):
+        request = self._read(
+            b"POST /v1/simulate?x=1 HTTP/1.1\r\n"
+            b"Content-Length: 2\r\n"
+            b"X-Repro-Tenant: t\r\n\r\n{}"
+        )
+        assert request.method == "POST"
+        assert request.path == "/v1/simulate"
+        assert request.query == {"x": "1"}
+        assert request.header("x-repro-tenant") == "t"
+        assert request.body == b"{}"
+
+    def test_clean_eof_returns_none(self):
+        assert self._read(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError) as err:
+            self._read(b"BOGUS\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_oversized_body_rejected_413(self):
+        huge = 10 * 1024 * 1024
+        with pytest.raises(ProtocolError) as err:
+            self._read(
+                f"POST / HTTP/1.1\r\nContent-Length: {huge}\r\n\r\n".encode()
+            )
+        assert err.value.status == 413
+
+    def test_render_response_shape(self):
+        raw = render_response(200, b"{}\n", extra_headers=[("X-A", "1")])
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Content-Length: 3" in head
+        assert b"Connection: close" in head
+        assert b"X-A: 1" in head
+        assert body == b"{}\n"
+
+
+# ---------------------------------------------------------------------------
+# quotas + metrics primitives
+# ---------------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2, clock=lambda: clock[0])
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()  # bucket dry
+        clock[0] = 1.5
+        assert bucket.try_acquire()  # 1.5 tokens refilled
+        assert not bucket.try_acquire()
+
+    def test_burst_capped(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=10.0, burst=3, clock=lambda: clock[0])
+        clock[0] = 100.0
+        assert bucket.remaining == 3.0
+
+    def test_bad_burst_rejected(self):
+        with pytest.raises(ServeError):
+            TokenBucket(rate=1.0, burst=0)
+
+    def test_quota_table_disabled_admits_everyone(self):
+        table = QuotaTable(rate=0.0)
+        assert all(table.admit("t") for _ in range(100))
+        assert table.snapshot()["t"]["admitted"] == 100
+
+    def test_quota_table_per_tenant_isolation(self):
+        table = QuotaTable(rate=0.001, burst=1)
+        assert table.admit("a")
+        assert not table.admit("a")  # a is dry...
+        assert table.admit("b")  # ...b is untouched
+        snap = table.snapshot()
+        assert snap["a"]["rejected"] == 1
+        assert snap["b"]["rejected"] == 0
+
+
+class TestHistogram:
+    def test_quantiles_interpolate(self):
+        hist = Histogram("t", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert 0.0 < hist.quantile(0.5) <= 2.0
+        assert hist.quantile(0.0) <= hist.quantile(1.0)
+        assert hist.mean() == pytest.approx(1.65)
+
+    def test_overflow_bucket(self):
+        hist = Histogram("t", bounds=(1.0,))
+        hist.observe(50.0)
+        assert hist.quantile(0.99) >= 1.0
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=(2.0, 1.0))
+
+    def test_registry_integration(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", (1.0, 2.0)).observe(1.5)
+        assert registry.snapshot()["lat"] == (0, 1, 0)
+        with pytest.raises(ValueError):
+            registry.counter("lat")  # name taken by another type
+
+    def test_percentile_helper(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([3.0], 0.99) == 3.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end daemon (in-thread)
+# ---------------------------------------------------------------------------
+REQUEST = {"model": "lstm", "steps": 1}
+
+
+class TestDaemonEndToEnd:
+    def test_served_report_byte_identical_to_session(self):
+        handle = start_in_thread(workers=1)
+        try:
+            status, headers, body = post_simulate(
+                handle.host, handle.port, REQUEST
+            )
+        finally:
+            handle.stop()
+        assert status == 200
+        assert headers.get("x-repro-served-from") == "run"
+        direct = api.Session("anonymous").simulate(**REQUEST)
+        assert body == (direct.to_json() + "\n").encode()
+        # the report parses back into the full v5 report schema
+        parsed = json.loads(body)
+        assert parsed["model"] == REQUEST["model"]
+        assert parsed["steps"] == REQUEST["steps"]
+        # call-local jitter is canonicalized away, not serialized
+        assert parsed["cache_stats"] is None
+
+    def test_concurrent_identical_requests_dedup_to_one_simulation(self):
+        handle = start_in_thread(workers=2)
+        results = [None] * 6
+        try:
+
+            def client(i):
+                results[i] = post_simulate(handle.host, handle.port, REQUEST)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            handle.stop()
+        assert [r[0] for r in results] == [200] * 6
+        assert len({r[2] for r in results}) == 1
+        stats = sim_cache.stats()
+        assert stats["misses"] == 1 and stats["stores"] == 1
+        served_from = sorted(r[1]["x-repro-served-from"] for r in results)
+        assert served_from.count("run") == 1
+
+    def test_quota_free_for_dedup_and_store_hits(self):
+        """A burst-1 quota still answers repeats of the same request —
+        only *fresh* simulations are charged (the CI double-POST rule)."""
+        handle = start_in_thread(workers=1, quota_rate=0.001, quota_burst=1)
+        try:
+            first = post_simulate(handle.host, handle.port, REQUEST)
+            second = post_simulate(handle.host, handle.port, REQUEST)
+            other = post_simulate(
+                handle.host, handle.port, {"model": "alexnet", "steps": 1}
+            )
+        finally:
+            handle.stop()
+        assert first[0] == 200
+        assert second[0] == 200  # store hit: not charged
+        assert second[1]["x-repro-served-from"] == "store"
+        assert other[0] == 429  # fresh simulation: bucket is dry
+        assert b"quota" in other[2]
+
+    def test_validation_errors_answer_400_without_queueing(self):
+        handle = start_in_thread(workers=1)
+        try:
+            status, _headers, body = post_simulate(
+                handle.host, handle.port, {"model": "bogus"}
+            )
+            health = json.loads(
+                http_request(handle.host, handle.port, "GET", "/v1/healthz")[2]
+            )
+        finally:
+            handle.stop()
+        assert status == 400
+        assert b"unknown model" in body
+        assert health["accepted"] == 0
+
+    def test_get_endpoints(self):
+        handle = start_in_thread(workers=1)
+        try:
+            status, headers, body = post_simulate(
+                handle.host, handle.port, REQUEST
+            )
+            rid = headers["x-repro-request-id"]
+            report = http_request(
+                handle.host, handle.port, "GET", f"/v1/report/{rid}"
+            )
+            missing = http_request(
+                handle.host, handle.port, "GET", "/v1/report/feedface"
+            )
+            backends = json.loads(
+                http_request(handle.host, handle.port, "GET", "/v1/backends")[2]
+            )
+            trace = json.loads(
+                http_request(
+                    handle.host, handle.port, "GET", f"/v1/trace/{rid}"
+                )[2]
+            )
+            health = json.loads(
+                http_request(handle.host, handle.port, "GET", "/v1/healthz")[2]
+            )
+            unknown = http_request(handle.host, handle.port, "GET", "/nope")
+        finally:
+            handle.stop()
+        assert report[0] == 200 and report[2] == body
+        assert missing[0] == 404
+        assert "hmc-hetero" in backends["backends"]
+        assert backends["backends"]["hmc-hetero"]["configurations"]
+        names = {ev["name"] for ev in trace["traceEvents"]}
+        assert any(name.startswith("queued:") for name in names)
+        assert health["status"] == "ok"
+        assert health["completed"] == 1
+        assert health["latency_ms"]["count"] >= 1
+        assert health["tenants"]["cache"]["anonymous"]["stores"] == 1
+        assert unknown[0] == 404
+
+    def test_async_submission_and_poll(self):
+        handle = start_in_thread(workers=1)
+        try:
+            status, _headers, body = post_simulate(
+                handle.host, handle.port, dict(REQUEST, wait=False)
+            )
+            assert status == 202
+            rid = json.loads(body)["id"]
+            deadline = time.time() + 60
+            report_status = 0
+            while time.time() < deadline:
+                report_status, _h, report_body = http_request(
+                    handle.host, handle.port, "GET", f"/v1/report/{rid}"
+                )
+                if report_status == 200:
+                    break
+                time.sleep(0.05)
+        finally:
+            handle.stop()
+        assert report_status == 200
+        direct = api.Session("anonymous").simulate(**REQUEST)
+        assert report_body == (direct.to_json() + "\n").encode()
+
+    def test_drain_serves_queued_work_before_exit(self):
+        handle = start_in_thread(workers=1)
+        try:
+            post_simulate(
+                handle.host, handle.port, dict(REQUEST, wait=False)
+            )
+        finally:
+            handle.stop()  # drain=True: must finish the queued request
+        stats = sim_cache.stats()
+        assert stats["misses"] == 1 and stats["stores"] == 1
+
+
+# ---------------------------------------------------------------------------
+# crash recovery (subprocess: the only way to lose in-memory state)
+# ---------------------------------------------------------------------------
+class TestRestartResume:
+    def _spawn(self, cache_dir, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src")
+        env["REPRO_CACHE_DIR"] = str(cache_dir)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", *extra],
+            env=env,
+            cwd=REPO,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        banner = proc.stderr.readline()
+        assert "listening on" in banner, banner
+        port = int(
+            banner.split("listening on ")[1].split(" ")[0].split(":")[1]
+        )
+        return proc, port
+
+    def test_sigkill_midbatch_restart_reserves_byte_identical(self, tmp_path):
+        cache = tmp_path / "cache"
+        proc, port = self._spawn(cache, "--workers", "1")
+        ids = []
+        try:
+            for model in ("lstm", "word2vec"):
+                status, _h, body = post_simulate(
+                    "127.0.0.1", port,
+                    {"model": model, "steps": 1, "wait": False},
+                )
+                assert status == 202
+                ids.append(json.loads(body)["id"])
+        finally:
+            proc.kill()
+            proc.wait()
+
+        proc, port = self._spawn(cache, "--workers", "2")
+        try:
+            deadline = time.time() + 120
+            bodies = {}
+            pending = set(ids)
+            while pending and time.time() < deadline:
+                for rid in sorted(pending):
+                    status, _h, body = http_request(
+                        "127.0.0.1", port, "GET", f"/v1/report/{rid}"
+                    )
+                    if status == 200:
+                        bodies[rid] = body
+                        pending.discard(rid)
+                if pending:
+                    time.sleep(0.2)
+            assert not pending, f"never recovered: {pending}"
+        finally:
+            proc.kill()
+            proc.wait()
+
+        # byte-identical to the library path, computed fresh in-process
+        for model, rid in zip(("lstm", "word2vec"), ids):
+            direct = api.Session("anonymous").simulate(model, steps=1)
+            assert bodies[rid] == (direct.to_json() + "\n").encode()
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        proc, port = self._spawn(tmp_path / "cache")
+        post_simulate(
+            "127.0.0.1", port, {"model": "lstm", "steps": 1, "wait": False}
+        )
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0

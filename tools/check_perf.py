@@ -84,6 +84,35 @@ def measure() -> dict:
     }
 
 
+def measure_serve() -> dict:
+    """Serve-daemon latency: warm-path p50/p99 ms + sustained RPS.
+
+    An in-process daemon (fresh cache) answers one cold request, then a
+    warm run of store-served repeats — the p99 of THAT path is the gated
+    number: it bounds the daemon's fixed overhead (HTTP parse, routing,
+    store read) independently of simulator speed.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.serve import start_in_thread
+    from repro.serve.bench import run_load
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-perf-") as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp  # daemon thread reads it live
+        handle = start_in_thread(workers=2)
+        try:
+            request = {"model": "alexnet", "steps": 2}
+            run_load(handle.host, handle.port, request, iterations=1)  # cold
+            warm = run_load(handle.host, handle.port, request, iterations=50)
+        finally:
+            handle.stop()
+            del os.environ["REPRO_CACHE_DIR"]
+    return {
+        "warm_p50_ms": warm["p50_ms"],
+        "warm_p99_ms": warm["p99_ms"],
+        "warm_rps": warm["rps"],
+    }
+
+
 def main() -> int:
     update = "--update" in sys.argv[1:]
     measured = measure()
@@ -91,10 +120,16 @@ def main() -> int:
         "experiment summary wall-clock: "
         + ", ".join(f"{k}={v}s" for k, v in measured.items())
     )
+    serve_measured = measure_serve()
+    print(
+        "serve warm path: "
+        + ", ".join(f"{k}={v}" for k, v in serve_measured.items())
+    )
 
     if update:
         summary = json.loads(SUMMARY_PATH.read_text()) if SUMMARY_PATH.is_file() else {}
         summary["experiment_summary"] = measured
+        summary["serve"] = serve_measured
         SUMMARY_PATH.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
         print(f"budget updated in {SUMMARY_PATH.name}")
         return 0
@@ -102,7 +137,8 @@ def main() -> int:
     if not SUMMARY_PATH.is_file():
         print(f"FAIL: {SUMMARY_PATH} does not exist (no committed budget)")
         return 1
-    budget = json.loads(SUMMARY_PATH.read_text()).get("experiment_summary")
+    summary = json.loads(SUMMARY_PATH.read_text())
+    budget = summary.get("experiment_summary")
     if not budget:
         print("FAIL: BENCH_summary.json has no experiment_summary budget")
         return 1
@@ -114,10 +150,27 @@ def main() -> int:
             continue
         if current > SLACK * allowed:
             failures.append(f"{key}: {current}s > {SLACK}x budget ({allowed}s)")
+
+    serve_budget = summary.get("serve", {})
+    allowed_p99 = serve_budget.get("warm_p99_ms")
+    if allowed_p99 is None:
+        failures.append(
+            "serve.warm_p99_ms missing from BENCH_summary.json — record it "
+            "with 'python tools/check_perf.py --update'"
+        )
+    elif serve_measured["warm_p99_ms"] > SLACK * allowed_p99:
+        failures.append(
+            f"serve.warm_p99_ms: {serve_measured['warm_p99_ms']}ms > "
+            f"{SLACK}x budget ({allowed_p99}ms)"
+        )
+
     if failures:
         print("PERF REGRESSION: " + "; ".join(failures))
         return 1
-    print(f"perf OK: all within {SLACK}x of the committed budget {budget}")
+    print(
+        f"perf OK: all within {SLACK}x of the committed budgets "
+        f"{budget} / serve {serve_budget}"
+    )
     return 0
 
 
