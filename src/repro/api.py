@@ -421,7 +421,11 @@ def simulate(
         if validate:
             validation = _validation_summary(result, prior)
         # warm the cache: observed runs produce the same result record
-        sim_cache.put(fingerprint, result)
+        sim_cache.put(
+            fingerprint,
+            result,
+            meta=sim_cache.object_meta(result, graph, system, faults=faults),
+        )
         timeline = sim.timeline if observe else None
     else:
         before = sim_cache.stats()

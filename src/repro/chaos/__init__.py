@@ -1,0 +1,54 @@
+"""Deterministic infrastructure-chaos injection (the infra mirror of
+:mod:`repro.faults`).
+
+Public surface:
+
+* :class:`~repro.chaos.spec.ChaosSpec` / :class:`~repro.chaos.spec.ChaosRule`
+  — seeded, JSON-round-trippable experiment descriptions;
+* :func:`~repro.chaos.injector.activate` /
+  :func:`~repro.chaos.injector.deactivate` /
+  :func:`~repro.chaos.injector.active` — in-process activation (the
+  ``REPRO_CHAOS`` env var reaches child processes);
+* the site hooks :func:`~repro.chaos.injector.mangle`,
+  :func:`~repro.chaos.injector.maybe_delay` and
+  :func:`~repro.chaos.injector.maybe_kill` called by the storage and
+  serve layers.
+"""
+
+from .injector import (
+    CHAOS_ENV,
+    ChaosInjector,
+    activate,
+    active,
+    corrupt_bytes,
+    deactivate,
+    mangle,
+    maybe_delay,
+    maybe_kill,
+)
+from .spec import (
+    CHAOS_KINDS,
+    CHAOS_SITES,
+    ChaosRule,
+    ChaosSpec,
+    ChaosSpecError,
+    make_spec,
+)
+
+__all__ = [
+    "CHAOS_ENV",
+    "CHAOS_KINDS",
+    "CHAOS_SITES",
+    "ChaosInjector",
+    "ChaosRule",
+    "ChaosSpec",
+    "ChaosSpecError",
+    "activate",
+    "active",
+    "corrupt_bytes",
+    "deactivate",
+    "make_spec",
+    "mangle",
+    "maybe_delay",
+    "maybe_kill",
+]

@@ -1,0 +1,188 @@
+"""The chaos injector: deterministic fault firing at compiled-in sites.
+
+The storage and serve layers call the tiny module-level hooks here
+(:func:`mangle`, :func:`maybe_delay`, :func:`maybe_kill`) at their named
+sites.  With no spec active every hook is a no-op costing one attribute
+load, so production paths pay nothing.  With a spec active (in-process
+via :func:`activate`, or inherited by child processes through the
+``REPRO_CHAOS`` environment variable) each hook consults the injector,
+which decides *deterministically* — occurrence indices and a seeded hash,
+never wall-clock or :mod:`random` state — whether this occurrence fires.
+
+Corruption is surgical on purpose: :func:`corrupt_bytes` takes a
+``protect`` prefix length so injected damage lands in an object's payload
+while its self-describing header (repair metadata + checksum) stays
+intact — mirroring the dominant real-world case where rot hits the bulk
+of a file, and keeping the ``fsck --repair`` invariant ("100% of injected
+damage repaired byte-identically") honest rather than vacuous.
+"""
+
+from __future__ import annotations
+
+import errno
+import hashlib
+import os
+import signal
+import threading
+import time
+from typing import Dict, Optional
+
+from .spec import ChaosRule, ChaosSpec
+
+#: Environment variable carrying a spec: JSON text, or ``@path`` to a file.
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+class ChaosInjector:
+    """Counts site occurrences and fires matching rules deterministically."""
+
+    def __init__(self, spec: ChaosSpec):
+        self.spec = spec
+        self._counts: Dict[str, int] = {}
+        self._fired: Dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def _hash(self, site: str, occurrence: int) -> int:
+        token = f"{self.spec.seed}:{site}:{occurrence}".encode()
+        return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+    def _claim(self, site: str, rule_index: int) -> bool:
+        """Claim a cross-process once-marker; first claimant wins."""
+        from ..sim import cache as sim_cache
+
+        claims = sim_cache.cache_dir() / "chaos-claims"
+        marker = claims / f"{site}.{rule_index}.{self.spec.seed}"
+        try:
+            claims.mkdir(parents=True, exist_ok=True)
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # No writable cache dir: fall back to per-process limiting.
+            return True
+        os.close(fd)
+        return True
+
+    def fire(self, site: str) -> Optional[ChaosRule]:
+        """Count one occurrence of ``site``; return the rule that fires."""
+        with self._lock:
+            occurrence = self._counts.get(site, 0)
+            self._counts[site] = occurrence + 1
+            for index, rule in enumerate(self.spec.rules):
+                if rule.site != site:
+                    continue
+                if rule.limit and self._fired.get(index, 0) >= rule.limit:
+                    continue
+                hit = occurrence in rule.at or (
+                    rule.one_in > 0
+                    and self._hash(site, occurrence) % rule.one_in == 0
+                )
+                if not hit:
+                    continue
+                if rule.once and not self._claim(site, index):
+                    continue
+                self._fired[index] = self._fired.get(index, 0) + 1
+                return rule
+        return None
+
+    def occurrences(self, site: str) -> int:
+        with self._lock:
+            return self._counts.get(site, 0)
+
+
+_active: Optional[ChaosInjector] = None
+_env_cache: Optional[str] = None
+_env_injector: Optional[ChaosInjector] = None
+_env_lock = threading.Lock()
+
+
+def activate(spec: ChaosSpec) -> ChaosInjector:
+    """Install ``spec`` as this process's injector (tests, harnesses)."""
+    global _active
+    _active = ChaosInjector(spec)
+    return _active
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+def active() -> Optional[ChaosInjector]:
+    """The current injector: explicit activation wins over ``REPRO_CHAOS``."""
+    if _active is not None:
+        return _active
+    raw = os.environ.get(CHAOS_ENV, "").strip()
+    if not raw:
+        return None
+    global _env_cache, _env_injector
+    with _env_lock:
+        if raw != _env_cache:
+            text = raw
+            if raw.startswith("@"):
+                with open(raw[1:], "r", encoding="utf-8") as fh:
+                    text = fh.read()
+            _env_injector = ChaosInjector(ChaosSpec.from_json(text))
+            _env_cache = raw
+        return _env_injector
+
+
+def corrupt_bytes(
+    data: bytes, rule: ChaosRule, seed: int, token: str, protect: int = 0
+) -> bytes:
+    """Damage ``data`` deterministically, never before byte ``protect``."""
+    span = len(data) - protect
+    if span <= 0:
+        return data
+    digest = hashlib.sha256(
+        f"{seed}:{rule.kind}:{token}".encode()
+    ).digest()
+    offset = protect + int.from_bytes(digest[:8], "big") % span
+    if rule.kind == "torn_write":
+        return data[:offset]
+    # bit_flip: XOR one bit, guaranteed to change the byte.
+    bit = digest[8] % 8
+    flipped = bytes([data[offset] ^ (1 << bit)])
+    return data[:offset] + flipped + data[offset + 1 :]
+
+
+def mangle(site: str, data: bytes, token: str, protect: int = 0) -> bytes:
+    """File-write hook: return the bytes to actually write at ``site``.
+
+    ``enospc`` raises :class:`OSError` (errno ENOSPC) as the real disk
+    would; ``slow_io`` sleeps; ``torn_write``/``bit_flip`` return damaged
+    bytes.  ``token`` keys the corruption offset (use the object's
+    fingerprint/id so damage is stable across runs).
+    """
+    injector = active()
+    if injector is None:
+        return data
+    rule = injector.fire(site)
+    if rule is None:
+        return data
+    if rule.kind == "enospc":
+        raise OSError(errno.ENOSPC, f"chaos: injected ENOSPC at {site}")
+    if rule.kind == "slow_io":
+        time.sleep(rule.delay_s)
+        return data
+    return corrupt_bytes(data, rule, injector.spec.seed, token, protect)
+
+
+def maybe_delay(site: str) -> None:
+    """Latency hook: sleep if a ``slow_io`` rule fires at ``site``."""
+    injector = active()
+    if injector is None:
+        return
+    rule = injector.fire(site)
+    if rule is not None and rule.kind == "slow_io":
+        time.sleep(rule.delay_s)
+
+
+def maybe_kill(site: str) -> None:
+    """Process-death hook: SIGKILL this process if a rule fires."""
+    injector = active()
+    if injector is None:
+        return
+    rule = injector.fire(site)
+    if rule is not None and rule.kind == "worker_kill":
+        os.kill(os.getpid(), signal.SIGKILL)

@@ -39,6 +39,7 @@ interrupted-and-resumed and uninterrupted runs.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
@@ -190,6 +191,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keep the disk tier at or below this size "
              "(plain bytes or K/M/G/T suffix)",
     )
+    fsck = cache_sub.add_parser(
+        "fsck",
+        help="verify every stored object, journal and serve report "
+             "against its checksum",
+    )
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="quarantine damaged files and recompute them from their "
+             "embedded metadata / journaled requests",
+    )
+    fsck.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
 
     trace = sub.add_parser("trace", help="export a model trace to JSON")
     trace.add_argument("model", choices=available_models())
@@ -293,6 +307,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-tenant admission quota: RATE fresh simulations per "
              "second, optional BURST bucket size (default: unlimited; "
              "dedup'd and stored-report requests are never charged)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=0, metavar="N",
+        help="bound the admission queue at N waiting requests; excess "
+             "load is shed with 503 + Retry-After (default: 0 = "
+             "unbounded)",
     )
     serve.add_argument(
         "--no-resume", action="store_true",
@@ -538,6 +558,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"({outcome['kept_bytes']} bytes) <= {args.max_bytes}"
         )
         return 0
+    if args.cache_command == "fsck":
+        from .sim import fsck as fsck_mod
+
+        report = fsck_mod.fsck(repair=args.repair)
+        print(fsck_mod.to_json(report) if args.json else fsck_mod.render(report))
+        return 0 if fsck_mod.clean(report) else 1
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
@@ -744,6 +770,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         quota_rate=rate,
         quota_burst=burst,
+        max_queue=args.max_queue,
         resume=not args.no_resume,
         on_start=announce,
     )
@@ -756,17 +783,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _set_sigint(handler) -> None:
+    """Best-effort SIGINT handler swap (no-op off the main thread)."""
+    try:
+        signal.signal(signal.SIGINT, handler)
+    except (ValueError, OSError):
+        pass
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    # Pin the default KeyboardInterrupt handler so an inherited SIG_IGN
+    # (some CI runners) cannot make Ctrl-C a no-op, and the exit path
+    # below is the only SIGINT story this process has.
+    _set_sigint(signal.default_int_handler)
     args = _build_parser().parse_args(argv)
     if args.jobs is not None:
         from .experiments import runner
 
         runner.set_jobs(args.jobs)
     try:
-        return _dispatch(args)
+        code = _dispatch(args)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
-        return 130
+        code = 130
+    # Dispatch is done and the exit code is decided: shield interpreter
+    # teardown (atexit hooks, executor joins) so a late signal from a
+    # driver that double-taps Ctrl-C cannot flip a clean exit into a
+    # raw -SIGINT death.
+    _set_sigint(signal.SIG_IGN)
+    return code
 
 
 def _dispatch(args: argparse.Namespace) -> int:

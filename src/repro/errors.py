@@ -152,6 +152,34 @@ class CacheInconsistency(ExecutionError):
     job the runner just completed and stored cannot be read back."""
 
 
+class CorruptObjectError(ReproError):
+    """Raised when a stored artifact fails its integrity check.
+
+    Covers disk-cache objects, journal lines and stored serve reports:
+    the bytes on disk do not parse, or do not match their embedded
+    sha256 checksum.  Carries the offending ``path`` and a one-line
+    ``reason``.  Readers never serve the bytes: the cache quarantines
+    the object (a counted, recomputable miss) and ``repro cache fsck
+    --repair`` recomputes it from its embedded metadata.
+    """
+
+    def __init__(self, path, reason: str, fingerprint=None):
+        super().__init__(f"corrupt object {path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+        self.fingerprint = fingerprint
+
+
+class CorruptJournalError(ExecutionError):
+    """Raised by a strict journal load when an interior line is damaged.
+
+    The tolerant default loader merely *counts* damaged lines
+    (``RunJournal.corrupt_lines``) — a dropped ``done`` line only costs a
+    recompute on resume — but auditors (``repro cache fsck``) load
+    strictly so mid-file corruption is surfaced, not skipped.
+    """
+
+
 class ServeError(ReproError):
     """Raised by the simulation-as-a-service layer (:mod:`repro.serve`)."""
 

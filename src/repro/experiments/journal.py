@@ -17,6 +17,21 @@ offset leave at worst one truncated *final* line — never interleaved or
 corrupted earlier lines.  The loader tolerates a truncated tail for
 exactly this reason.
 
+Lines are also *verified*: every record carries a short per-line
+checksum (``sha``), and a cleanly completed journal ends with a ``seal``
+footer covering every byte before it — so **mid-file** damage (bit rot,
+a torn interior line left by an interrupted resume) is detected, not
+silently skipped.  The default loader stays tolerant — it counts damage
+in :attr:`RunJournal.corrupt_lines` and drops the untrustworthy lines,
+because the worst case of a lost ``done`` line is one recompute on
+resume — while ``strict=True`` (used by ``repro cache fsck``) raises
+:class:`~repro.errors.CorruptJournalError`.
+
+Journal writes never crash a batch: persistent ``OSError`` flips the
+shared store into memory-only degraded mode (see
+:func:`repro.sim.cache.note_write_failure`) and the journal keeps its
+records in memory.
+
 The journal is the *manifest* side of crash safety; the *result* side is
 the content-addressed disk cache (:mod:`repro.sim.cache`), which every
 completed job lands in before its journal line is written.  ``repro
@@ -26,17 +41,22 @@ re-run — every journaled-complete job is a free cache hit.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import json
 import os
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Set
 
-from ..errors import ExecutionError
+from ..chaos import injector as _chaos
+from ..errors import CorruptJournalError, ExecutionError
 from ..sim import cache as sim_cache
 
 #: Journal line-format version, recorded in the ``begin`` header.
-JOURNAL_SCHEMA = 1
+#: 2: every line carries a ``sha`` checksum and completed journals end
+#: with a ``seal`` footer; v1 journals (no checksums) still load.
+JOURNAL_SCHEMA = 2
 
 
 def journal_dir() -> Path:
@@ -50,9 +70,25 @@ def _journal_path(run_id: str) -> Path:
     return journal_dir() / f"{run_id}.jsonl"
 
 
+#: Per-process sequence folded into run ids: two batches started in the
+#: same second by one process (sweep drivers, the serve daemon's restart
+#: loop) can no longer collide.
+_RUN_SEQ = itertools.count(1)
+
+
 def new_run_id() -> str:
-    """Timestamp + pid: unique per process, sortable by start time."""
-    return time.strftime("%Y%m%dT%H%M%S") + f"-{os.getpid()}"
+    """Timestamp + pid + sequence: unique per process, sortable by
+    start time."""
+    return (
+        time.strftime("%Y%m%dT%H%M%S")
+        + f"-{os.getpid()}-{next(_RUN_SEQ)}"
+    )
+
+
+def _line_sha(record: Dict) -> str:
+    """Short content checksum of one journal record (sans its ``sha``)."""
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
 
 
 def list_runs() -> List[str]:
@@ -81,6 +117,19 @@ class RunJournal:
         self.run_id = run_id
         self._lines = lines
         self._fd: Optional[int] = None
+        #: Damaged lines dropped by the tolerant loader (mid-file bit
+        #: rot, torn interior lines); 0 for a healthy journal.
+        self.corrupt_lines = 0
+        #: ``None`` = no seal footer (in-flight or interrupted journal);
+        #: ``True`` = seal present and verified; ``False`` = seal broken.
+        self.sealed: Optional[bool] = None
+        #: True once a disk append has been skipped (degraded store).
+        self.degraded = False
+        # Running hash of every raw byte appended, so seal() can commit
+        # to the exact file contents; _written counts physical disk
+        # lines (not memory-only degraded appends).
+        self._hasher = hashlib.sha256()
+        self._written = 0
 
     # -- lifecycle -----------------------------------------------------
     @classmethod
@@ -112,35 +161,88 @@ class RunJournal:
         return journal
 
     @classmethod
-    def load(cls, run_id: str) -> "RunJournal":
+    def load(cls, run_id: str, strict: bool = False) -> "RunJournal":
         """Open an existing journal for inspection and/or appending.
 
-        Tolerates a truncated final line (a kill mid-append); raises
-        :class:`ExecutionError` when the journal does not exist or has no
-        readable header.
+        Tolerates a truncated final line (a kill mid-append).  Interior
+        damage — an unparseable non-final line, or any line whose ``sha``
+        checksum mismatches — is *dropped and counted* in
+        :attr:`corrupt_lines` by default, or raised as
+        :class:`~repro.errors.CorruptJournalError` with ``strict=True``.
+        Raises :class:`ExecutionError` when the journal does not exist or
+        has no readable header.
         """
         path = _journal_path(run_id)
         try:
-            raw = path.read_text()
+            raw = path.read_bytes()
         except OSError:
             known = ", ".join(list_runs()[:5]) or "(none)"
             raise ExecutionError(
                 f"no journal for run id {run_id!r} under {journal_dir()} "
                 f"(known runs: {known})"
             )
+        raw_lines = raw.splitlines(keepends=True)
         lines: List[Dict] = []
-        for text in raw.splitlines():
-            if not text.strip():
+        corrupt = 0
+        damage: List[str] = []
+        sealed: Optional[bool] = None
+        hasher = hashlib.sha256()
+        written = 0  # lines physically on disk before the current one
+        for index, raw_line in enumerate(raw_lines):
+            before = hasher.hexdigest()
+            hasher.update(raw_line)
+            text = raw_line.decode("utf-8", errors="replace").strip()
+            if not text:
+                written += 1
                 continue
+            final = index == len(raw_lines) - 1
             try:
-                lines.append(json.loads(text))
+                record = json.loads(text)
             except json.JSONDecodeError:
-                continue  # truncated tail from a mid-append kill
+                if final and not raw_line.endswith(b"\n"):
+                    break  # truncated tail from a mid-append kill
+                corrupt += 1
+                damage.append(f"line {index + 1}: not valid JSON")
+                written += 1
+                continue
+            if not isinstance(record, dict):
+                corrupt += 1
+                damage.append(f"line {index + 1}: not a JSON object")
+                written += 1
+                continue
+            recorded_sha = record.pop("sha", None)
+            if recorded_sha is not None and recorded_sha != _line_sha(record):
+                corrupt += 1
+                damage.append(f"line {index + 1}: checksum mismatch")
+                written += 1
+                continue
+            if record.get("event") == "seal":
+                sealed = (
+                    record.get("sha256") == before
+                    and record.get("lines") == written
+                )
+                if not sealed:
+                    corrupt += 1
+                    damage.append(f"line {index + 1}: broken seal")
+                written += 1
+                continue
+            written += 1
+            lines.append(record)
         if not lines or lines[0].get("event") != "begin":
             raise ExecutionError(
                 f"journal {run_id!r} has no readable begin header"
             )
-        return cls(run_id, lines)
+        if strict and damage:
+            raise CorruptJournalError(
+                f"journal {run_id!r} has {corrupt} damaged line(s): "
+                + "; ".join(damage)
+            )
+        journal = cls(run_id, lines)
+        journal.corrupt_lines = corrupt
+        journal.sealed = sealed
+        journal._hasher = hasher
+        journal._written = written
+        return journal
 
     def close(self) -> None:
         if self._fd is not None:
@@ -151,16 +253,53 @@ class RunJournal:
 
     # -- writing -------------------------------------------------------
     def _append(self, record: Dict) -> None:
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        stamped = dict(record)
+        stamped["sha"] = _line_sha(record)
+        line = json.dumps(stamped, sort_keys=True, separators=(",", ":"))
         data = line.encode() + b"\n"
-        if self._fd is None:
-            path = _journal_path(self.run_id)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            self._fd = os.open(
-                path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
-            )
-        os.write(self._fd, data)  # one write: atomic line under O_APPEND
         self._lines.append(record)
+        if sim_cache.writes_suppressed():
+            self.degraded = True
+            return  # memory-only degraded mode: the record still counts
+        try:
+            data = _chaos.mangle(
+                "journal.append",
+                data,
+                token=f"{self.run_id}:{len(self._lines)}",
+            )
+            if self._fd is None:
+                path = _journal_path(self.run_id)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                self._fd = os.open(
+                    path, os.O_APPEND | os.O_CREAT | os.O_WRONLY, 0o644
+                )
+            os.write(self._fd, data)  # one write: atomic under O_APPEND
+        except OSError as exc:
+            self.degraded = True
+            sim_cache.note_write_failure(
+                exc, f"journal append for run {self.run_id!r}"
+            )
+        else:
+            # hash what actually landed on disk, so a sealed journal's
+            # footer commits to the real file bytes
+            self._hasher.update(data)
+            self._written += 1
+            sim_cache.note_write_success()
+
+    def seal(self) -> None:
+        """Append the integrity footer committing to every byte so far.
+
+        Called automatically when a ``complete`` event is journaled; a
+        journal without a seal is *expected* for interrupted runs, so
+        the loader never treats its absence as damage.
+        """
+        self._append(
+            {
+                "event": "seal",
+                "lines": self._written,
+                "sha256": self._hasher.hexdigest(),
+            }
+        )
 
     def record_job(
         self,
@@ -181,10 +320,16 @@ class RunJournal:
         self._append(record)
 
     def record_event(self, name: str, **extra) -> None:
-        """Journal a batch-level event (``interrupted``, ``complete``...)."""
+        """Journal a batch-level event (``interrupted``, ``complete``...).
+
+        A ``complete`` event also seals the journal: clean completions
+        always end with a verified footer.
+        """
         record = {"event": name, "time": time.time()}
         record.update(extra)
         self._append(record)
+        if name == "complete":
+            self.seal()
 
     # -- reading -------------------------------------------------------
     @property

@@ -55,8 +55,9 @@ from concurrent.futures import (
 )
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..chaos import injector as _chaos
 from ..config import SystemConfig
 from ..errors import (
     CacheInconsistency,
@@ -544,10 +545,17 @@ def supervise(
 # ---------------------------------------------------------------------------
 def _worker(job: Job) -> RunResult:
     """Run one job in a pool worker (module-level: must be picklable)."""
+    _chaos.maybe_kill("worker.kill")
     graph, policy, config, steps, faults = _normalize(job)
     return sim_cache.simulate_cached(
         graph, policy, config, steps=steps, faults=faults
     )
+
+
+def _job_meta(job: Job, result: RunResult) -> Dict:
+    """Repair metadata for a parent-side cache store of ``result``."""
+    graph, _policy, config, _steps, faults = job
+    return sim_cache.object_meta(result, graph, config, faults=faults)
 
 
 def run_jobs(jobs: Sequence[Job]) -> List[RunResult]:
@@ -589,7 +597,9 @@ def run_jobs(jobs: Sequence[Job]) -> List[RunResult]:
             n_workers=n_workers,
             journal=journal,
             on_result=lambda k, result: sim_cache.put(
-                prints[pending[k]], result
+                prints[pending[k]],
+                result,
+                meta=_job_meta(jobs[pending[k]], result),
             ),
         )
         failures = outcome.failures
@@ -641,7 +651,7 @@ def _run_serial(jobs, prints, pending, journal) -> BatchSupervision:
                 interrupted = True
                 break
             result = _worker(jobs[i])
-            sim_cache.put(prints[i], result)
+            sim_cache.put(prints[i], result, meta=_job_meta(jobs[i], result))
             completed += 1
             if journal is not None:
                 journal.record_job(prints[i], "done", cached=False)

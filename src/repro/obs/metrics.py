@@ -291,6 +291,13 @@ class MetricsRegistry:
 #: Shared disabled registry: publish into it for free.
 NULL_REGISTRY = MetricsRegistry(enabled=False)
 
+#: Process-wide registry for infrastructure integrity events — corrupt
+#: objects quarantined, store write errors, degraded-mode transitions.
+#: Library code (the cache, the journal) publishes here because it has
+#: no per-run registry in scope; the serve daemon folds a snapshot into
+#: ``/healthz`` so operators see integrity incidents without log-diving.
+GLOBAL_REGISTRY = MetricsRegistry()
+
 
 def merge_snapshots(snaps: Iterable[Dict[str, Value]]) -> Dict[str, Value]:
     """Sum numeric metrics across snapshots (tuples are summed per-slot)."""

@@ -24,6 +24,19 @@ multi-tenant serving primitive:
   traces, the hardware-backend registry, and live serving statistics
   (queue depth, per-endpoint counters, latency histograms with p50/p99,
   cache and quota state);
+* **overload protection** — a bounded admission queue sheds excess load
+  (503 + ``Retry-After`` derived from queue depth and warm p99) instead
+  of queueing unboundedly; per-request deadlines
+  (``X-Repro-Deadline-Ms``) answer expired queued requests 504 *before*
+  they consume a worker; and a circuit breaker trips erroring exact
+  simulation over to surrogate-estimate serving tagged
+  ``X-Repro-Degraded: surrogate`` (estimates are never stored — the
+  exact report is recomputed once the breaker closes);
+* **integrity** — every stored report gets a sha256 sidecar
+  (``<id>.json.sha256``); store hits re-verify per
+  ``REPRO_VERIFY_READS`` and quarantine-then-recompute on mismatch, so
+  corrupt bytes are never served (see :mod:`repro.sim.fsck` for the
+  offline audit);
 * **graceful drain** — SIGTERM/SIGINT stops accepting connections,
   finishes every queued request, journals ``complete`` and exits 0.
 
@@ -34,8 +47,9 @@ layer in :mod:`repro.serve.http`.
 from __future__ import annotations
 
 import asyncio
-import itertools
+import hashlib
 import json
+import math
 import signal
 import threading
 import time
@@ -44,11 +58,11 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import api
+from ..chaos import injector as _chaos
 from ..errors import ExecutionError, ProtocolError, ReproError
 from ..experiments import journal as journal_mod
-from ..experiments.common import write_atomic
 from ..experiments.journal import RunJournal
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import GLOBAL_REGISTRY, MetricsRegistry
 from ..sim import cache as sim_cache
 from ..sim.results import canonical_dumps
 from .http import Request, read_request, render_response
@@ -61,15 +75,14 @@ from .protocol import (
 )
 from .quota import QuotaTable
 
-#: Per-process daemon counter: makes journal run ids unique even when
-#: several daemons start within one wall-clock second (tests do).
-_DAEMON_SEQ = itertools.count(1)
-
 #: Latency-histogram bucket bounds (milliseconds).
 _LATENCY_BUCKETS = (
     0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
     500.0, 1000.0, 2500.0, 5000.0, 15000.0, 60000.0,
 )
+
+#: Header carrying a per-request deadline budget in milliseconds.
+DEADLINE_HEADER = "x-repro-deadline-ms"
 
 
 @dataclass
@@ -82,6 +95,11 @@ class _Pending:
     received_s: float
     dedup: int = 0
     started_s: Optional[float] = None
+    #: Absolute expiry (daemon-relative seconds) or None for no deadline.
+    deadline_s: Optional[float] = None
+    #: Set when the response was served from the surrogate under a
+    #: tripped breaker (tags ``X-Repro-Degraded: surrogate``).
+    degraded: bool = False
 
 
 @dataclass
@@ -108,16 +126,29 @@ class ServeDaemon:
         quota_rate: float = 0.0,
         quota_burst: Optional[float] = None,
         resume: bool = True,
+        max_queue: int = 0,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 30.0,
         registry: Optional[MetricsRegistry] = None,
         on_start: Optional[Callable[["ServeDaemon"], None]] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
         self.host = host
         self.port = port  # replaced by the bound port after start()
         self.workers = workers
         self.quotas = QuotaTable(quota_rate, quota_burst)
         self.resume = resume
+        #: Admission-queue bound; 0 disables shedding (unbounded queue).
+        self.max_queue = max_queue
+        self.breaker_threshold = breaker_threshold
+        self.breaker_reset_s = breaker_reset_s
         self.metrics = registry if registry is not None else MetricsRegistry()
         self.stats = ServeStats()
         self.on_start = on_start
@@ -133,6 +164,11 @@ class ServeDaemon:
         self._journal_lock = threading.Lock()
         self._stopped = asyncio.Event()
         self._draining = False
+        self._queue_peak = 0
+        # Circuit breaker over exact simulation: consecutive worker
+        # errors (never client 400s) trip it open for breaker_reset_s.
+        self._breaker_failures = 0
+        self._breaker_open_until: Optional[float] = None
 
     # -- small helpers --------------------------------------------------
     def _now(self) -> float:
@@ -168,6 +204,48 @@ class ServeDaemon:
         with self._journal_lock:
             self._journal.record_job(*args, **kwargs)
 
+    # -- overload protection ---------------------------------------------
+    def _retry_after_s(self) -> int:
+        """Advisory client back-off: how long until the current queue has
+        drained through the worker pool, at the observed warm p99 (with a
+        floor so a cold daemon still answers something sane)."""
+        p99_s = (
+            self.metrics.histogram(
+                "serve.latency_ms.simulate", _LATENCY_BUCKETS
+            ).quantile(0.99)
+            / 1e3
+        )
+        per_request = max(p99_s, 0.05)
+        depth = self._queue.qsize()
+        return max(1, math.ceil(depth * per_request / self.workers))
+
+    def _breaker_open(self) -> bool:
+        """True while exact simulation is tripped over to the surrogate.
+
+        Past the reset interval the breaker goes half-open: the next
+        request probes the exact path, and a single further failure
+        re-opens it immediately.
+        """
+        if self._breaker_open_until is None:
+            return False
+        if self._now() < self._breaker_open_until:
+            return True
+        self._breaker_open_until = None
+        self._breaker_failures = max(0, self.breaker_threshold - 1)
+        return False
+
+    def _note_breaker(self, ok: bool) -> None:
+        if ok:
+            self._breaker_failures = 0
+            return
+        self._breaker_failures += 1
+        if (
+            self._breaker_failures >= self.breaker_threshold
+            and self._breaker_open_until is None
+        ):
+            self._breaker_open_until = self._now() + self.breaker_reset_s
+            self._counter("serve.breaker_trips").inc()
+
     # -- lifecycle records ----------------------------------------------
     def _record_lifecycle(
         self, pending: _Pending, *, status: str, finished: bool
@@ -194,12 +272,14 @@ class ServeDaemon:
             self._journal = RunJournal.create(
                 "serve",
                 {"host": self.host, "workers": self.workers},
-                run_id=f"serve-{journal_mod.new_run_id()}-{next(_DAEMON_SEQ)}",
+                run_id=f"serve-{journal_mod.new_run_id()}",
             )
         except ExecutionError:
             self._journal = None  # e.g. read-only cache dir: still serve
         for request in recovered:
-            self._admit(request, charge_quota=False, recovered=True)
+            self._admit(
+                request, charge_quota=False, recovered=True, bounded=False
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -381,12 +461,19 @@ class ServeDaemon:
         *,
         charge_quota: bool = True,
         recovered: bool = False,
+        bounded: bool = True,
         request_id: Optional[str] = None,
-    ) -> Tuple[Optional[_Pending], Optional[Tuple[int, bytes]]]:
+        deadline_s: Optional[float] = None,
+    ) -> Tuple[
+        Optional[_Pending], Optional[Tuple[int, bytes, List[Tuple[str, str]]]]
+    ]:
         """Admit one validated request (no awaits: atomic in the loop).
 
         Returns ``(pending, None)`` on success or ``(None, (status,
-        body))`` when the tenant is over quota.
+        body, headers))`` when the request is shed (503, bounded queue
+        full) or the tenant is over quota (429).  Journal-recovered
+        requests bypass the bound (``bounded=False``): they were already
+        accepted once.
         """
         if request_id is None:
             request_id = self._request_id_sync(request)
@@ -394,7 +481,31 @@ class ServeDaemon:
         if pending is not None:
             pending.dedup += 1
             self._counter("serve.dedup_hits").inc()
+            # several waiters share one execution: the most permissive
+            # deadline (None = none at all) governs it
+            if pending.deadline_s is not None:
+                pending.deadline_s = (
+                    None
+                    if deadline_s is None
+                    else max(pending.deadline_s, deadline_s)
+                )
             return pending, None
+        if (
+            bounded
+            and self.max_queue
+            and self._queue.qsize() >= self.max_queue
+        ):
+            retry_after = self._retry_after_s()
+            self._counter("serve.shed").inc()
+            return None, (
+                503,
+                error_body(
+                    503,
+                    f"admission queue is full ({self.max_queue} deep); "
+                    f"retry in ~{retry_after}s",
+                ),
+                [("Retry-After", str(retry_after))],
+            )
         if charge_quota and not self.quotas.admit(request.tenant):
             self._counter("serve.quota_rejections").inc()
             return None, (
@@ -405,6 +516,7 @@ class ServeDaemon:
                     f"({self.quotas.rate:g}/s, burst "
                     f"{self.quotas.burst:g}); retry later",
                 ),
+                [],
             )
         loop = asyncio.get_running_loop()
         pending = _Pending(
@@ -412,6 +524,7 @@ class ServeDaemon:
             request_id=request_id,
             future=loop.create_future(),
             received_s=self._now(),
+            deadline_s=deadline_s,
         )
         self._inflight[request_id] = pending
         self.stats.accepted += 1
@@ -422,6 +535,8 @@ class ServeDaemon:
         self._seq += 1
         self._queue.put_nowait((request.priority, self._seq, pending))
         self._set_queue_depth()
+        self._queue_peak = max(self._queue_peak, self._queue.qsize())
+        self.metrics.gauge("serve.queue_peak").set(self._queue_peak)
         if recovered:
             self._counter("serve.recovered").inc()
         return pending, None
@@ -438,6 +553,25 @@ class ServeDaemon:
             surrogate=request.surrogate,
         )
 
+    def _parse_deadline(self, http_request: Request) -> Optional[float]:
+        """Absolute expiry from ``X-Repro-Deadline-Ms`` (None = none)."""
+        raw = http_request.header(DEADLINE_HEADER)
+        if not raw:
+            return None
+        try:
+            budget_ms = int(raw)
+        except ValueError:
+            raise ProtocolError(
+                f"invalid {DEADLINE_HEADER} value {raw!r} "
+                "(expected a positive integer of milliseconds)"
+            )
+        if budget_ms <= 0:
+            raise ProtocolError(
+                f"invalid {DEADLINE_HEADER} value {raw!r} "
+                "(expected a positive integer of milliseconds)"
+            )
+        return self._now() + budget_ms / 1e3
+
     async def _handle_simulate(
         self, http_request: Request
     ) -> Tuple[int, bytes, List[Tuple[str, str]]]:
@@ -445,6 +579,7 @@ class ServeDaemon:
             request = parse_simulate_request(
                 http_request.body, http_request.headers
             )
+            deadline_s = self._parse_deadline(http_request)
         except ProtocolError as exc:
             return exc.status, error_body(exc.status, str(exc)), []
         if self._draining:
@@ -459,9 +594,8 @@ class ServeDaemon:
             return 400, error_body(400, str(exc)), []
         id_header = [("X-Repro-Request-Id", request_id)]
 
-        stored = self.report_path(request_id)
-        if stored.is_file():
-            body = stored.read_bytes()
+        body = self._read_stored_report(request_id)
+        if body is not None:
             self._counter("serve.store_hits").inc()
             return (
                 200,
@@ -469,9 +603,11 @@ class ServeDaemon:
                 id_header + [("X-Repro-Served-From", "store")],
             )
 
-        pending, rejection = self._admit(request, request_id=request_id)
+        pending, rejection = self._admit(
+            request, request_id=request_id, deadline_s=deadline_s
+        )
         if rejection is not None:
-            return rejection[0], rejection[1], id_header
+            return rejection[0], rejection[1], id_header + rejection[2]
         dedup = pending.request is not request
         if not request.wait:
             body = (
@@ -489,17 +625,42 @@ class ServeDaemon:
             return 202, body, id_header
         status, body = await asyncio.shield(pending.future)
         served_from = "dedup" if dedup else "run"
-        return (
-            status,
-            body,
-            id_header + [("X-Repro-Served-From", served_from)],
-        )
+        headers = id_header + [("X-Repro-Served-From", served_from)]
+        if pending.degraded:
+            headers.append(("X-Repro-Degraded", "surrogate"))
+        return status, body, headers
 
     # -- worker pool -------------------------------------------------------
     async def _worker_loop(self) -> None:
         while True:
             _priority, _seq, pending = await self._queue.get()
             self._set_queue_depth()
+            if (
+                pending.deadline_s is not None
+                and self._now() > pending.deadline_s
+            ):
+                # expired while queued: answer 504 without burning a worker
+                self._counter("serve.deadline_expired").inc()
+                self.stats.failed += 1
+                self._record_lifecycle(
+                    pending, status="expired", finished=True
+                )
+                self._journal_record(pending.request_id, "expired")
+                self._inflight.pop(pending.request_id, None)
+                if not pending.future.done():
+                    pending.future.set_result(
+                        (
+                            504,
+                            error_body(
+                                504,
+                                "deadline expired after "
+                                f"{self._now() - pending.received_s:.3f}s "
+                                "in queue",
+                            ),
+                        )
+                    )
+                self._queue.task_done()
+                continue
             pending.started_s = self._now()
             self._record_lifecycle(pending, status="running", finished=False)
             try:
@@ -511,6 +672,12 @@ class ServeDaemon:
                 raise
             except BaseException as exc:  # noqa: BLE001 - worker never dies
                 status, body = 500, error_body(500, repr(exc))
+            # breaker accounting: only infrastructure failures (500s)
+            # count — client errors (400) say nothing about our health
+            if status >= 500:
+                self._note_breaker(ok=False)
+            elif status == 200:
+                self._note_breaker(ok=True)
             if status == 200:
                 self.stats.completed += 1
                 self._counter("serve.completed").inc()
@@ -528,6 +695,11 @@ class ServeDaemon:
         """Run one request to a stored canonical report (worker thread)."""
         request = pending.request
         session = self._session(request.tenant)
+        _chaos.maybe_delay("serve.execute")
+        if self._breaker_open() and not request.surrogate:
+            degraded = self._execute_degraded(pending)
+            if degraded is not None:
+                return degraded
         try:
             report = session.simulate(**request.simulate_kwargs())
         except ReproError as exc:
@@ -536,9 +708,98 @@ class ServeDaemon:
             )
             return 400, error_body(400, str(exc))
         text = report.to_json() + "\n"
-        write_atomic(self.report_path(pending.request_id), text)
-        self._journal_record(pending.request_id, "done")
+        self._store_report(pending.request_id, text)
         return 200, text.encode()
+
+    def _execute_degraded(self, pending: _Pending) -> Optional[Tuple[int, bytes]]:
+        """Surrogate-estimate a request under a tripped breaker.
+
+        Returns None when no trained surrogate can answer it (the caller
+        falls back to the exact path).  Estimates are never written to
+        the report store — the journal keeps the request ``accepted``, so
+        the exact report is computed once the breaker closes (or after a
+        restart).
+        """
+        request = pending.request
+        session = self._session(request.tenant)
+        try:
+            report = session.simulate(
+                **{**request.simulate_kwargs(), "surrogate": True}
+            )
+        except ReproError:
+            return None
+        info = getattr(report, "surrogate", None)
+        if not isinstance(info, dict) or info.get("mode") != "surrogate":
+            return None  # no trained surrogate: probe the exact path
+        pending.degraded = True
+        self._counter("serve.degraded").inc()
+        self._journal_record(pending.request_id, "degraded")
+        return 200, (report.to_json() + "\n").encode()
+
+    @staticmethod
+    def sidecar_path(request_id: str) -> Path:
+        """Checksum sidecar beside one stored report."""
+        path = ServeDaemon.report_path(request_id)
+        return path.with_name(path.name + ".sha256")
+
+    def _store_report(self, request_id: str, text: str) -> None:
+        """Persist one report + checksum sidecar (atomic, degradable).
+
+        The sidecar hashes the *true* bytes and lands first, so a torn
+        or corrupted report write is always detectable; a store that
+        cannot be written degrades to serving from memory (the journal
+        keeps the request re-runnable) instead of failing the request.
+        """
+        path = self.report_path(request_id)
+        data = text.encode()
+        digest = hashlib.sha256(data).hexdigest()
+        try:
+            data = _chaos.mangle(
+                "serve.report_write", data, token=request_id
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            sidecar = self.sidecar_path(request_id)
+            tmp_side = sidecar.with_name(sidecar.name + ".tmp")
+            tmp_side.write_text(digest + "\n")
+            tmp_side.replace(sidecar)
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_bytes(data)
+            tmp.replace(path)
+        except OSError as exc:
+            sim_cache.note_write_failure(
+                exc, f"serve report store for {request_id[:12]}…"
+            )
+            return
+        sim_cache.note_write_success()
+        self._journal_record(request_id, "done")
+
+    def _read_stored_report(self, request_id: str) -> Optional[bytes]:
+        """Stored report bytes, integrity-checked — or None.
+
+        Verification policy follows ``REPRO_VERIFY_READS``; a sidecar
+        mismatch quarantines report *and* sidecar and returns None, so
+        the caller recomputes instead of serving corrupt bytes.  Reports
+        from before the sidecar era serve unverified (``fsck`` flags
+        them).
+        """
+        stored = self.report_path(request_id)
+        try:
+            data = stored.read_bytes()
+        except OSError:
+            return None
+        sidecar = self.sidecar_path(request_id)
+        if sim_cache.should_verify() and sidecar.is_file():
+            try:
+                recorded = sidecar.read_text().strip()
+            except OSError:
+                recorded = ""
+            if recorded and hashlib.sha256(data).hexdigest() != recorded:
+                self._counter("serve.report_corrupt").inc()
+                GLOBAL_REGISTRY.counter("serve.corrupt_reports").inc()
+                sim_cache.quarantine(stored)
+                sim_cache.quarantine(sidecar)
+                return None
+        return data
 
     # -- GET endpoints -----------------------------------------------------
     def _handle_report(
@@ -546,8 +807,8 @@ class ServeDaemon:
     ) -> Tuple[int, bytes, List[Tuple[str, str]]]:
         if not request_id or "/" in request_id or request_id.startswith("."):
             return 400, error_body(400, f"invalid report id {request_id!r}"), []
-        stored = self.report_path(request_id)
-        if not stored.is_file():
+        body = self._read_stored_report(request_id)
+        if body is None:
             if request_id in self._inflight:
                 return (
                     202,
@@ -567,7 +828,7 @@ class ServeDaemon:
             return 404, error_body(404, f"no report {request_id!r}"), []
         return (
             200,
-            stored.read_bytes(),
+            body,
             [("X-Repro-Served-From", "store")],
         )
 
@@ -624,6 +885,12 @@ class ServeDaemon:
             "uptime_s": round(self._now(), 3),
             "workers": self.workers,
             "queue_depth": self._queue.qsize(),
+            "queue_peak": self._queue_peak,
+            "max_queue": self.max_queue,
+            "breaker": {
+                "open": self._breaker_open(),
+                "consecutive_failures": self._breaker_failures,
+            },
             "inflight": len(self._inflight),
             "accepted": self.stats.accepted,
             "completed": self.stats.completed,
@@ -641,6 +908,11 @@ class ServeDaemon:
                 "p99": round(latency.quantile(0.99), 3),
             },
             "cache": sim_cache.stats(),
+            "integrity": {
+                name: value
+                for name, value in GLOBAL_REGISTRY.snapshot().items()
+                if not isinstance(value, tuple)
+            },
             "tenants": {
                 "quota": self.quotas.snapshot(),
                 "cache": sim_cache.tenant_stats(),

@@ -42,6 +42,7 @@ _REASONS = {
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 

@@ -27,11 +27,33 @@ Two tiers back the fingerprint:
   earlier pickle format: entries are inspectable, diffable, and safe to
   load from a shared directory.
 
+The disk tier is content-*verified*, not just content-addressed: every
+object is a self-describing envelope ``{"repro_object": 1, "meta": ...,
+"sha256": ..., "payload": ...}`` whose ``sha256`` covers the canonical
+payload JSON and whose ``meta`` records the run inputs (model, config,
+backend, steps, batch size) needed to *recompute* the object.  Reads
+verify the checksum per ``REPRO_VERIFY_READS``; anything damaged is
+quarantined to ``<cache-dir>/quarantine/`` (a counted
+:class:`~repro.errors.CorruptObjectError` event, then a recomputable
+miss) — corrupt bytes are never returned.  ``repro cache fsck
+[--repair]`` audits the whole store offline (see
+:mod:`repro.sim.fsck`).
+
+Persistent write failures (ENOSPC, read-only mounts, dying disks) flip
+the store into a memory-only **degraded mode** — one warning line, a
+counter, and a periodic re-probe — instead of crashing a batch or the
+serve daemon mid-flight.
+
 Environment knobs:
 
 * ``REPRO_CACHE_DIR`` — cache directory (default ``.repro-cache`` under
   the current working directory);
-* ``REPRO_CACHE=0`` — disable the disk tier (the memory tier always runs).
+* ``REPRO_CACHE=0`` — disable the disk tier (the memory tier always runs);
+* ``REPRO_VERIFY_READS`` — ``off`` | ``sample`` (default: every 8th disk
+  read) | ``always`` — how often disk reads re-hash the payload against
+  the embedded checksum (structural validation always happens);
+* ``REPRO_DEGRADED_REPROBE_S`` — seconds between disk re-probes while in
+  degraded mode (default 30).
 
 ``CACHE_SCHEMA`` is folded into every fingerprint; bump it whenever the
 simulator's observable behavior changes so stale on-disk results can never
@@ -42,18 +64,23 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import os
+import sys
 import tempfile
 import threading
+import time
 import weakref
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Optional, Set
 
+from ..chaos import injector as _chaos
 from ..config import SystemConfig
+from ..errors import CorruptObjectError
 from ..nn.graph import Graph
 from .policy import SchedulingPolicy
-from .results import RunResult
+from .results import RunResult, canonical_dumps
 
 #: Schema/behavior version folded into every fingerprint.  2: results carry
 #: observability aggregates and the disk tier stores canonical JSON.
@@ -66,19 +93,40 @@ from .results import RunResult
 # 5: SystemConfig grew the ``backend`` field (hardware-backend registry),
 # which joins the config encoding — v4 fingerprints of identical runs no
 # longer match, so the namespace advances with it.
-CACHE_SCHEMA = 5
+# 6: disk objects became checksummed self-describing envelopes
+# (repro_object/meta/sha256/payload) — bare-RunResult v5 files would fail
+# envelope validation, so the namespace advances with the format.
+CACHE_SCHEMA = 6
+
+#: Envelope format tag inside each object file (orthogonal to
+#: ``CACHE_SCHEMA``: the namespace isolates *result* semantics, this tag
+#: names the container layout).
+OBJECT_FORMAT = 1
 
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_ENABLE = "REPRO_CACHE"
+_ENV_VERIFY = "REPRO_VERIFY_READS"
+_ENV_REPROBE = "REPRO_DEGRADED_REPROBE_S"
+
+#: In ``sample`` mode, one disk read in this many re-hashes the payload.
+VERIFY_SAMPLE_EVERY = 8
 
 _memory: Dict[str, RunResult] = {}
 
 #: Hit/miss counters since process start (or the last ``reset_stats``).
+#: ``misses`` is the total; ``misses_absent`` (no file) and
+#: ``misses_corrupt`` (file failed integrity) break down its disk-side
+#: causes so corruption is never mistaken for a cold cache.
 _stats = {
     "memory_hits": 0,
     "disk_hits": 0,
     "misses": 0,
+    "misses_absent": 0,
+    "misses_corrupt": 0,
+    "quarantined": 0,
     "stores": 0,
+    "write_errors": 0,
+    "degraded_skips": 0,
     "pruned_entries": 0,
     "pruned_bytes": 0,
 }
@@ -102,6 +150,125 @@ _ENV_VALIDATE = "REPRO_VALIDATE"
 def validation_enabled() -> bool:
     """True when ``REPRO_VALIDATE`` requests invariant-checked runs."""
     return os.environ.get(_ENV_VALIDATE, "0") not in ("0", "")
+
+
+def verify_mode() -> str:
+    """Read-verification policy: ``off`` | ``sample`` | ``always``."""
+    mode = os.environ.get(_ENV_VERIFY, "sample").strip().lower() or "sample"
+    if mode not in ("off", "sample", "always"):
+        raise ValueError(
+            f"{_ENV_VERIFY} must be off, sample or always, got {mode!r}"
+        )
+    return mode
+
+
+_verify_lock = threading.Lock()
+_verify_reads = 0
+
+
+def should_verify() -> bool:
+    """Whether *this* disk read re-hashes the payload.
+
+    ``sample`` verifies deterministically — the first of every
+    :data:`VERIFY_SAMPLE_EVERY` disk reads in a process — rather than by
+    coin flip, so a corrupt hot object is caught within a bounded number
+    of reads and test runs are reproducible.
+    """
+    mode = verify_mode()
+    if mode == "always":
+        return True
+    if mode == "off":
+        return False
+    global _verify_reads
+    with _verify_lock:
+        sampled = _verify_reads % VERIFY_SAMPLE_EVERY == 0
+        _verify_reads += 1
+    return sampled
+
+
+# ---------------------------------------------------------------------------
+# degraded (memory-only) mode
+# ---------------------------------------------------------------------------
+#: Shared by the cache and the run journal: both live on the same
+#: filesystem, so persistent write failure on either flips the whole
+#: store to memory-only rather than crashing mid-batch.  A periodic
+#: re-probe (one real write attempt per interval) ends degradation as
+#: soon as the disk recovers.
+_DEGRADE_AFTER = 3
+
+_degraded_lock = threading.Lock()
+_degraded = {"active": False, "errors": 0, "probe_at": 0.0}
+
+
+def _reprobe_interval() -> float:
+    try:
+        return max(0.1, float(os.environ.get(_ENV_REPROBE, "30")))
+    except ValueError:
+        return 30.0
+
+
+def degraded() -> bool:
+    """True while the store is in memory-only degraded mode."""
+    with _degraded_lock:
+        return _degraded["active"]
+
+
+def writes_suppressed() -> bool:
+    """True when a disk write should be skipped (degraded, not yet time
+    to re-probe).  Callers seeing False must still expect OSError and
+    report it via :func:`note_write_failure`."""
+    with _degraded_lock:
+        if not _degraded["active"]:
+            return False
+        return time.monotonic() < _degraded["probe_at"]
+
+
+def note_write_failure(exc: OSError, what: str) -> None:
+    """Record one failed disk write; flip to degraded after a streak."""
+    from ..obs.metrics import GLOBAL_REGISTRY
+
+    with _degraded_lock:
+        _stats["write_errors"] += 1
+        _degraded["errors"] += 1
+        entered = (
+            not _degraded["active"] and _degraded["errors"] >= _DEGRADE_AFTER
+        )
+        if entered:
+            _degraded["active"] = True
+        if _degraded["active"]:
+            _degraded["probe_at"] = time.monotonic() + _reprobe_interval()
+    GLOBAL_REGISTRY.counter("store.write_errors").inc()
+    if entered:
+        GLOBAL_REGISTRY.gauge("store.degraded").set(1)
+        print(
+            f"warning: {what}: {exc} — store degraded to memory-only "
+            f"(re-probing disk every {_reprobe_interval():g}s)",
+            file=sys.stderr,
+        )
+
+
+def note_write_success() -> None:
+    """Record one successful disk write; ends degraded mode if active."""
+    with _degraded_lock:
+        recovered = _degraded["active"]
+        _degraded["active"] = False
+        _degraded["errors"] = 0
+        _degraded["probe_at"] = 0.0
+    if recovered:
+        from ..obs.metrics import GLOBAL_REGISTRY
+
+        GLOBAL_REGISTRY.gauge("store.degraded").set(0)
+        print(
+            "store: disk writes recovered, leaving degraded mode",
+            file=sys.stderr,
+        )
+
+
+def _reset_degraded() -> None:
+    with _degraded_lock:
+        _degraded["active"] = False
+        _degraded["errors"] = 0
+        _degraded["probe_at"] = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -393,8 +560,173 @@ def _object_path(fingerprint: str) -> Path:
     )
 
 
+def quarantine_dir() -> Path:
+    return cache_dir() / "quarantine"
+
+
+def object_meta(
+    result: RunResult,
+    graph: Graph,
+    config: SystemConfig,
+    faults=None,
+) -> Dict[str, object]:
+    """Self-describing repair metadata embedded in a disk object.
+
+    Enough for ``fsck --repair`` to *recompute* the object from scratch
+    through the public api and check the recomputed fingerprint against
+    the damaged file's name.  Runs that cannot be rebuilt this way
+    (faulted runs, hand-modified configs) are tagged so fsck quarantines
+    them honestly instead of recomputing the wrong thing.
+    """
+    meta: Dict[str, object] = {
+        "model": result.model_name,
+        "config": result.config_name,
+        "backend": config.backend,
+        "steps": result.steps,
+        "batch_size": graph.batch_size,
+    }
+    if faults is not None:
+        meta["faulted"] = True
+    return meta
+
+
+def _envelope(result: RunResult, meta: Optional[Dict[str, object]]):
+    """Serialize one disk object; returns ``(text, payload_offset)``.
+
+    Key order is deliberate (not sorted): ``meta`` and ``sha256`` sit at
+    the head of the file so they survive payload-region damage — the
+    tolerant header parse in :func:`extract_meta` is what makes repair
+    possible on an object whose payload no longer parses.
+    """
+    payload_json = result.to_json()
+    sha = hashlib.sha256(payload_json.encode()).hexdigest()
+    head = (
+        '{"repro_object":%d,"meta":%s,"sha256":"%s","payload":'
+        % (OBJECT_FORMAT, canonical_dumps(meta or {}), sha)
+    )
+    return head + payload_json + "}", len(head)
+
+
+def _load_object_text(
+    text: str, path: Path, fingerprint: Optional[str], verify: bool
+) -> RunResult:
+    """Parse one envelope; raise :class:`CorruptObjectError` on any damage."""
+    try:
+        envelope = json.loads(text)
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise CorruptObjectError(path, f"not valid JSON ({exc})", fingerprint)
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("repro_object") != OBJECT_FORMAT
+    ):
+        raise CorruptObjectError(
+            path, "not a cache-object envelope", fingerprint
+        )
+    payload = envelope.get("payload")
+    recorded = envelope.get("sha256")
+    if not isinstance(payload, dict) or not isinstance(recorded, str):
+        raise CorruptObjectError(
+            path, "envelope is missing payload or sha256", fingerprint
+        )
+    if verify:
+        actual = hashlib.sha256(canonical_dumps(payload).encode()).hexdigest()
+        if actual != recorded:
+            raise CorruptObjectError(
+                path,
+                f"checksum mismatch (recorded {recorded[:12]}…, "
+                f"actual {actual[:12]}…)",
+                fingerprint,
+            )
+    try:
+        return RunResult.from_dict(payload)
+    except Exception as exc:
+        raise CorruptObjectError(
+            path, f"payload does not deserialize ({exc!r})", fingerprint
+        )
+
+
+def read_object(
+    path: Path, fingerprint: Optional[str] = None, verify: bool = True
+) -> RunResult:
+    """Strict loader (fsck, tools): raises :class:`CorruptObjectError`."""
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CorruptObjectError(path, f"unreadable ({exc})", fingerprint)
+    return _load_object_text(text, path, fingerprint, verify)
+
+
+def extract_meta(text: str) -> Optional[Dict[str, object]]:
+    """Best-effort ``meta`` recovery from a (possibly damaged) envelope.
+
+    Works whenever the damage lies at or after the ``sha256`` field: the
+    header prefix up to that marker is re-closed into a tiny valid JSON
+    object.  Returns ``None`` when the header itself is gone.
+    """
+    try:
+        envelope = json.loads(text)
+        if isinstance(envelope, dict) and isinstance(
+            envelope.get("meta"), dict
+        ):
+            return envelope["meta"]
+    except (json.JSONDecodeError, ValueError):
+        pass
+    head, sep, _rest = text.partition(',"sha256":"')
+    if not sep:
+        return None
+    try:
+        envelope = json.loads(head + "}")
+    except (json.JSONDecodeError, ValueError):
+        return None
+    meta = envelope.get("meta") if isinstance(envelope, dict) else None
+    return meta if isinstance(meta, dict) else None
+
+
+def quarantine(path: Path) -> Optional[Path]:
+    """Move a damaged file out of the store (never serve it again).
+
+    Mirrors the file's cache-relative path under ``quarantine/`` for
+    later forensics; falls back to deletion if even the move fails.
+    Returns the quarantined path, or ``None`` when the file is gone.
+    """
+    try:
+        rel = path.resolve().relative_to(cache_dir().resolve())
+    except (ValueError, OSError):
+        rel = Path(path.name)
+    dest = quarantine_dir() / rel
+    try:
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, dest)
+        return dest
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def _note_corrupt(path: Path, exc: CorruptObjectError) -> None:
+    from ..obs.metrics import GLOBAL_REGISTRY
+
+    _stats["misses_corrupt"] += 1
+    _stats["quarantined"] += 1
+    GLOBAL_REGISTRY.counter("cache.corrupt_objects").inc()
+    quarantine(path)
+    print(
+        f"warning: quarantined corrupt cache object {path.name}: "
+        f"{exc.reason}",
+        file=sys.stderr,
+    )
+
+
 def get(fingerprint: str) -> Optional[RunResult]:
-    """Look up a result by fingerprint (memory first, then disk)."""
+    """Look up a result by fingerprint (memory first, then disk).
+
+    A disk object that fails structural or (per ``REPRO_VERIFY_READS``)
+    checksum validation is quarantined and counted — the caller sees a
+    recomputable miss, never corrupt data.
+    """
     result = _memory.get(fingerprint)
     if result is not None:
         _stats["memory_hits"] += 1
@@ -403,12 +735,17 @@ def get(fingerprint: str) -> Optional[RunResult]:
     if disk_enabled():
         path = _object_path(fingerprint)
         try:
-            result = RunResult.from_json(path.read_text())
-        except Exception:
-            # missing file, or a corrupt/stale entry (truncated write,
-            # schema drift): deserialization can raise nearly anything,
-            # and any failure here is just a cache miss
-            result = None
+            text = path.read_text()
+        except OSError:
+            _stats["misses_absent"] += 1
+        else:
+            try:
+                result = _load_object_text(
+                    text, path, fingerprint, should_verify()
+                )
+            except CorruptObjectError as exc:
+                _note_corrupt(path, exc)
+                result = None
         if isinstance(result, RunResult):
             _memory[fingerprint] = result
             _stats["disk_hits"] += 1
@@ -418,31 +755,55 @@ def get(fingerprint: str) -> Optional[RunResult]:
             except OSError:
                 pass
             return result
+    else:
+        _stats["misses_absent"] += 1
     _stats["misses"] += 1
     _note_tenant("misses")
     return None
 
 
-def put(fingerprint: str, result: RunResult) -> None:
-    """Store a result in both tiers (atomic on disk)."""
+def put(
+    fingerprint: str,
+    result: RunResult,
+    meta: Optional[Dict[str, object]] = None,
+) -> None:
+    """Store a result in both tiers (atomic, checksummed on disk).
+
+    ``meta`` (see :func:`object_meta`) makes the disk object repairable
+    by ``fsck``; without it the object is still checksummed and
+    quarantinable, just not recomputable from the file alone.
+    """
     _memory[fingerprint] = result
     _stats["stores"] += 1
     _note_tenant("stores", fingerprint)
     if not disk_enabled():
         return
+    if writes_suppressed():
+        _stats["degraded_skips"] += 1
+        return
     path = _object_path(fingerprint)
     try:
+        text, payload_offset = _envelope(result, meta)
+        data = _chaos.mangle(
+            "cache.object_write",
+            text.encode(),
+            token=fingerprint,
+            protect=payload_offset,
+        )
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(result.to_json())
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
             os.replace(tmp, path)  # atomic: concurrent writers both win
         except BaseException:
             os.unlink(tmp)
             raise
-    except OSError:
-        pass  # read-only/odd filesystems degrade to the memory tier
+    except OSError as exc:
+        # read-only/full/odd filesystems degrade to the memory tier
+        note_write_failure(exc, f"cache write for {fingerprint[:12]}…")
+    else:
+        note_write_success()
 
 
 def clear(disk: bool = True) -> None:
@@ -537,13 +898,19 @@ def prune(max_bytes: int) -> Dict[str, int]:
 
 
 def stats() -> Dict[str, int]:
-    """Snapshot of hit/miss/prune counters (for the benchmark harness)."""
-    return dict(_stats)
+    """Snapshot of hit/miss/prune counters (for the benchmark harness).
+
+    ``degraded`` reflects the live memory-only flag (0/1), not a count.
+    """
+    snapshot = dict(_stats)
+    snapshot["degraded"] = 1 if degraded() else 0
+    return snapshot
 
 
 def reset_stats() -> None:
     for key in _stats:
         _stats[key] = 0
+    _reset_degraded()
 
 
 # ---------------------------------------------------------------------------
@@ -590,7 +957,11 @@ def simulate_cached(
             faults=faults,
             validate=validate,
         ).run()
-        put(fingerprint, result)
+        put(
+            fingerprint,
+            result,
+            meta=object_meta(result, graph, config, faults=faults),
+        )
         if validate:
             from ..validate.invariants import check_cache_equivalence
 

@@ -1,0 +1,329 @@
+"""Storage integrity: envelopes, verified reads, degraded mode, chaos, fsck.
+
+The invariants under test mirror ``tools/check_chaos.py``'s subprocess
+scenarios at unit granularity: a damaged object is never *served* (it is
+quarantined and recounted as a corrupt miss), damage never outlives
+``fsck --repair`` (repairs are byte-identical, proven here by a
+hypothesis sweep over corruption positions), and a failing disk demotes
+the store to memory-only instead of crashing the run.
+"""
+
+import json
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    ChaosRule,
+    ChaosSpecError,
+    corrupt_bytes,
+    injector,
+    make_spec,
+)
+from repro.errors import CorruptObjectError
+from repro.experiments.common import cached_graph, resolve_configuration
+from repro.experiments.journal import RunJournal
+from repro.sim import cache as sim_cache
+from repro.sim import fsck as fsck_mod
+
+
+@pytest.fixture(autouse=True)
+def isolated_store(tmp_path, monkeypatch):
+    """Throwaway cache, always-verify reads, no inherited chaos."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_VERIFY_READS", "always")
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    monkeypatch.setattr(sim_cache, "_memory", {})
+    sim_cache.reset_stats()
+    injector.deactivate()
+    yield
+    injector.deactivate()
+    sim_cache.reset_stats()
+
+
+def _simulate(model="alexnet", steps=1, config="hetero-pim"):
+    system, policy = resolve_configuration(config)
+    graph = cached_graph(model)
+    result = sim_cache.simulate_cached(graph, policy, system, steps)
+    fingerprint = sim_cache.run_fingerprint(graph, policy, system, steps)
+    return fingerprint, result
+
+
+def _payload_offset(data: bytes) -> int:
+    """First byte of the (corruptible) payload region of an envelope."""
+    marker = b'"payload":'
+    return data.index(marker) + len(marker)
+
+
+# ---------------------------------------------------------------------------
+# envelope format + verified reads
+# ---------------------------------------------------------------------------
+class TestEnvelope:
+    def test_roundtrip_with_self_describing_meta(self):
+        fingerprint, result = _simulate()
+        path = sim_cache._object_path(fingerprint)
+        envelope = json.loads(path.read_text())
+        assert envelope["repro_object"] == sim_cache.OBJECT_FORMAT
+        meta = envelope["meta"]
+        assert meta["model"] == "alexnet"
+        assert meta["backend"] == "hmc-hetero"
+        assert meta["steps"] == 1
+        assert meta["batch_size"] >= 1
+        assert len(envelope["sha256"]) == 64
+        loaded = sim_cache.read_object(path, fingerprint)
+        assert loaded == result
+        assert sim_cache.extract_meta(path.read_text()) == meta
+
+    def test_meta_survives_payload_damage(self):
+        fingerprint, _result = _simulate()
+        path = sim_cache._object_path(fingerprint)
+        data = bytearray(path.read_bytes())
+        data[-15] ^= 0x08
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptObjectError):
+            sim_cache.read_object(path, fingerprint)
+        meta = sim_cache.extract_meta(path.read_text())
+        assert meta is not None and meta["model"] == "alexnet"
+
+    def test_corrupt_object_is_quarantined_not_served(self):
+        fingerprint, result = _simulate()
+        path = sim_cache._object_path(fingerprint)
+        data = bytearray(path.read_bytes())
+        data[_payload_offset(bytes(data)) + 5] ^= 0x01
+        path.write_bytes(bytes(data))
+        sim_cache._memory.clear()
+        sim_cache.reset_stats()
+
+        assert sim_cache.get(fingerprint) is None
+        stats = sim_cache.stats()
+        assert stats["misses"] == 1
+        assert stats["misses_corrupt"] == 1
+        assert stats["misses_absent"] == 0
+        assert stats["quarantined"] == 1
+        assert not path.exists()
+        assert list(sim_cache.quarantine_dir().rglob("*.json"))
+
+        # the slot is now empty: a re-read is an *absent* miss
+        assert sim_cache.get(fingerprint) is None
+        stats = sim_cache.stats()
+        assert stats["misses"] == 2 and stats["misses_absent"] == 1
+
+        # and a recompute self-heals the slot byte-stably
+        healed_fp, healed = _simulate()
+        assert healed_fp == fingerprint and healed == result
+        assert sim_cache.read_object(path, fingerprint) == result
+
+    def test_verify_mode_values(self, monkeypatch):
+        for mode in ("off", "sample", "always"):
+            monkeypatch.setenv("REPRO_VERIFY_READS", mode)
+            assert sim_cache.verify_mode() == mode
+        monkeypatch.setenv("REPRO_VERIFY_READS", "bogus")
+        with pytest.raises(ValueError, match="REPRO_VERIFY_READS"):
+            sim_cache.verify_mode()
+
+    def test_sample_mode_verifies_one_in_n(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_READS", "sample")
+        draws = [sim_cache.should_verify() for _ in range(
+            2 * sim_cache.VERIFY_SAMPLE_EVERY
+        )]
+        assert draws.count(True) == 2
+        monkeypatch.setenv("REPRO_VERIFY_READS", "off")
+        assert not any(sim_cache.should_verify() for _ in range(8))
+
+
+# ---------------------------------------------------------------------------
+# degraded (memory-only) mode
+# ---------------------------------------------------------------------------
+class TestDegradedMode:
+    def test_enospc_degrades_then_reprobe_recovers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEGRADED_REPROBE_S", "0")
+        _fingerprint, result = _simulate()
+        injector.activate(make_spec(1, [
+            ChaosRule(site="cache.object_write", kind="enospc", one_in=1),
+        ]))
+        for i in range(4):
+            sim_cache.put(f"{i:02d}" + "ab" * 31, result)
+        stats = sim_cache.stats()
+        assert stats["degraded"] == 1
+        assert stats["write_errors"] == 3  # the 4th write was suppressed
+        assert stats["degraded_skips"] == 1
+        assert sim_cache.get("00" + "ab" * 31) is result  # memory tier holds
+
+        # disk recovers: after the (floored) re-probe interval the next
+        # write probes the disk again and succeeds
+        injector.deactivate()
+        time.sleep(0.15)
+        sim_cache.put("ff" + "ab" * 31, result)
+        assert sim_cache.stats()["degraded"] == 0
+        assert sim_cache._object_path("ff" + "ab" * 31).exists()
+
+    def test_degraded_journal_keeps_records_in_memory(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEGRADED_REPROBE_S", "3600")
+        _fingerprint, result = _simulate()
+        injector.activate(make_spec(1, [
+            ChaosRule(site="cache.object_write", kind="enospc", one_in=1),
+        ]))
+        for i in range(3):
+            sim_cache.put(f"{i:02d}" + "cd" * 31, result)
+        assert sim_cache.degraded()
+        injector.deactivate()
+
+        journal = RunJournal.create("experiment", {"id": "x"}, run_id="deg")
+        journal.record_job("aaa", "done")
+        journal.close()
+        assert journal.degraded
+        assert journal.completed_fingerprints() == {"aaa"}
+        assert not (sim_cache.cache_dir() / "journal" / "deg.jsonl").exists()
+
+
+# ---------------------------------------------------------------------------
+# chaos determinism
+# ---------------------------------------------------------------------------
+class TestChaos:
+    def test_same_seed_fires_at_same_occurrences(self):
+        spec = make_spec(42, [
+            ChaosRule(site="cache.object_write", kind="bit_flip", one_in=3),
+        ])
+        patterns = []
+        for _ in range(2):
+            inj = injector.ChaosInjector(spec)
+            patterns.append([
+                inj.fire("cache.object_write") is not None
+                for _ in range(30)
+            ])
+        assert patterns[0] == patterns[1]
+        assert any(patterns[0]) and not all(patterns[0])
+
+    def test_at_and_limit(self):
+        inj = injector.ChaosInjector(make_spec(0, [
+            ChaosRule(
+                site="journal.append", kind="torn_write", at=(1, 3), limit=1
+            ),
+        ]))
+        fired = [inj.fire("journal.append") is not None for _ in range(5)]
+        assert fired == [False, True, False, False, False]
+
+    def test_corrupt_bytes_respects_protect(self):
+        rule = ChaosRule(site="cache.object_write", kind="bit_flip", at=(0,))
+        data = b"H" * 50 + b"P" * 100
+        for token in ("t1", "t2", "t3"):
+            damaged = corrupt_bytes(data, rule, seed=7, token=token, protect=50)
+            assert damaged != data
+            assert damaged[:50] == data[:50]
+        torn = ChaosRule(site="cache.object_write", kind="torn_write", at=(0,))
+        truncated = corrupt_bytes(data, torn, seed=7, token="t", protect=50)
+        assert 50 <= len(truncated) < len(data)
+        assert truncated == data[: len(truncated)]
+
+    def test_spec_validation(self):
+        with pytest.raises(ChaosSpecError, match="unknown chaos site"):
+            ChaosRule(site="nope", kind="bit_flip", at=(0,))
+        with pytest.raises(ChaosSpecError, match="cannot fire at site"):
+            ChaosRule(site="worker.kill", kind="bit_flip", at=(0,))
+        with pytest.raises(ChaosSpecError, match="'at' occurrences"):
+            ChaosRule(site="journal.append", kind="bit_flip")
+        spec = make_spec(9, [
+            ChaosRule(site="serve.execute", kind="slow_io", one_in=2),
+        ])
+        assert spec.__class__.from_json(spec.to_json()) == spec
+
+    def test_env_activation_and_enospc(self, monkeypatch):
+        spec = make_spec(3, [
+            ChaosRule(site="cache.object_write", kind="enospc", one_in=1),
+        ])
+        monkeypatch.setenv("REPRO_CHAOS", spec.to_json())
+        assert injector.active() is not None
+        with pytest.raises(OSError) as err:
+            injector.mangle("cache.object_write", b"data", token="t")
+        assert err.value.errno == __import__("errno").ENOSPC
+        # other sites are untouched
+        assert injector.mangle("journal.append", b"data", token="t") == b"data"
+
+
+# ---------------------------------------------------------------------------
+# fsck
+# ---------------------------------------------------------------------------
+_SNAPSHOTS = {}
+
+
+def _populated_snapshot():
+    """Populate (once per cache dir) and snapshot the clean object bytes."""
+    key = str(sim_cache.cache_dir())
+    if key not in _SNAPSHOTS:
+        _simulate("alexnet", 1)
+        _simulate("lstm", 1, config="prog-pim")
+        root = sim_cache.cache_dir() / "objects"
+        _SNAPSHOTS[key] = {
+            path: path.read_bytes() for path in sorted(root.rglob("*.json"))
+        }
+    return _SNAPSHOTS[key]
+
+
+class TestFsck:
+    def test_clean_store_is_clean(self):
+        snapshot = _populated_snapshot()
+        report = fsck_mod.fsck()
+        assert report["objects"]["scanned"] == len(snapshot)
+        assert report["objects"]["ok"] == len(snapshot)
+        assert fsck_mod.clean(report)
+
+    def test_detect_without_repair_leaves_the_file(self):
+        snapshot = _populated_snapshot()
+        path = next(iter(snapshot))
+        data = bytearray(snapshot[path])
+        data[-10] ^= 0x20
+        path.write_bytes(bytes(data))
+        report = fsck_mod.fsck(repair=False)
+        assert report["objects"]["corrupt"] == 1
+        assert not fsck_mod.clean(report)
+        assert path.read_bytes() == bytes(data)  # untouched without --repair
+        path.write_bytes(snapshot[path])
+
+    def test_faulted_object_is_unrepairable_but_quarantined(self):
+        fingerprint, result = _simulate()
+        path = sim_cache._object_path(fingerprint)
+        meta = sim_cache.extract_meta(path.read_text())
+        meta["faulted"] = True  # faulted runs embed no replayable spec
+        text, _offset = sim_cache._envelope(result, meta)
+        damaged = bytearray(text.encode())
+        damaged[-10] ^= 0x20
+        path.write_bytes(bytes(damaged))
+        sim_cache._memory.clear()
+        report = fsck_mod.fsck(repair=True)
+        assert report["objects"]["corrupt"] == 1
+        assert report["objects"]["unrepairable"] == 1
+        assert not path.exists()  # quarantined, not silently kept
+        assert not fsck_mod.clean(report)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        index=st.integers(min_value=0, max_value=1),
+        frac=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+        kind=st.sampled_from(["bit_flip", "torn_write"]),
+    )
+    def test_repair_is_byte_identical_wherever_damage_lands(
+        self, index, frac, kind
+    ):
+        snapshot = _populated_snapshot()
+        for path, data in snapshot.items():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(data)
+        path = sorted(snapshot)[index]
+        clean = snapshot[path]
+        protect = _payload_offset(clean)
+        offset = protect + int(frac * (len(clean) - protect - 1))
+        if kind == "bit_flip":
+            damaged = bytearray(clean)
+            damaged[offset] ^= 0x10
+            path.write_bytes(bytes(damaged))
+        else:
+            path.write_bytes(clean[: max(offset, protect + 1)])
+        sim_cache._memory.clear()
+
+        report = fsck_mod.fsck(repair=True)
+        assert report["objects"]["corrupt"] == 1, report
+        assert report["objects"]["repaired"] == 1, report
+        assert fsck_mod.clean(report)
+        assert path.read_bytes() == clean

@@ -6,6 +6,7 @@ serialization round trips, and the Chrome Trace Event export including
 device-lane mapping for configurations without a GPU.
 """
 
+import hashlib
 import json
 
 import pytest
@@ -133,7 +134,18 @@ class TestSerialization:
         result = run_model_on(MODEL, "hetero-pim")
         files = list((sim_cache.cache_dir() / "objects").rglob("*.json"))
         assert files
-        assert files[0].read_text() == result.to_json()
+        # The envelope embeds the canonical result JSON verbatim as its
+        # payload slice, checksummed by the header's sha256 field.
+        text = files[0].read_text()
+        head, sep, tail = text.partition('"payload":')
+        assert sep and tail.endswith("}")
+        payload = tail[:-1]
+        assert payload == result.to_json()
+        envelope = json.loads(text)
+        assert envelope["repro_object"] == 1
+        assert envelope["sha256"] == hashlib.sha256(
+            payload.encode()
+        ).hexdigest()
 
 
 # ---------------------------------------------------------------------------

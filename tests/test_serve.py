@@ -451,3 +451,136 @@ class TestRestartResume:
         )
         proc.send_signal(signal.SIGTERM)
         assert proc.wait(timeout=60) == 0
+
+
+class TestOverloadProtection:
+    """Bounded queue, deadlines, and the exact-path circuit breaker."""
+
+    def _slow_execute(self, delay_s=0.8):
+        from repro.chaos import ChaosRule, injector, make_spec
+
+        injector.activate(make_spec(1, [
+            ChaosRule(
+                site="serve.execute", kind="slow_io",
+                one_in=1, delay_s=delay_s,
+            ),
+        ]))
+        return injector
+
+    def test_expired_deadline_answers_504_without_a_worker(self):
+        chaos = self._slow_execute()
+        handle = start_in_thread(workers=1)
+        try:
+            busy = [None]
+
+            def occupy():
+                busy[0] = post_simulate(
+                    handle.host, handle.port, {"model": "lstm", "steps": 2}
+                )
+
+            t = threading.Thread(target=occupy)
+            t.start()
+            time.sleep(0.3)  # the single worker is now inside slow_io
+            status, headers, body = http_request(
+                handle.host, handle.port, "POST", "/v1/simulate",
+                json.dumps({"model": "lstm", "steps": 3}).encode(),
+                headers={"X-Repro-Deadline-Ms": "50"},
+            )
+            t.join()
+        finally:
+            handle.stop()
+            chaos.deactivate()
+        assert busy[0][0] == 200
+        assert status == 504
+        assert b"deadline expired" in body
+        assert "x-repro-request-id" in headers
+
+    def test_invalid_deadline_header_is_400(self):
+        handle = start_in_thread(workers=1)
+        try:
+            status, _headers, body = http_request(
+                handle.host, handle.port, "POST", "/v1/simulate",
+                json.dumps({"model": "lstm", "steps": 1}).encode(),
+                headers={"X-Repro-Deadline-Ms": "soon"},
+            )
+        finally:
+            handle.stop()
+        assert status == 400
+        assert b"X-Repro-Deadline-Ms" in body or b"x-repro-deadline-ms" in body
+
+    def test_full_bounded_queue_sheds_503_with_retry_after(self):
+        chaos = self._slow_execute()
+        handle = start_in_thread(workers=1, max_queue=1)
+        try:
+            results = {}
+
+            def post(key, steps):
+                results[key] = post_simulate(
+                    handle.host, handle.port, {"model": "lstm", "steps": steps}
+                )
+
+            t_busy = threading.Thread(target=post, args=("busy", 2))
+            t_busy.start()
+            time.sleep(0.3)
+            flood = [
+                threading.Thread(target=post, args=(f"f{i}", 3 + i))
+                for i in range(3)
+            ]
+            for t in flood:
+                t.start()
+            for t in [t_busy, *flood]:
+                t.join()
+            health = json.loads(
+                http_request(handle.host, handle.port, "GET", "/v1/healthz")[2]
+            )
+        finally:
+            handle.stop()
+            chaos.deactivate()
+        statuses = sorted(results[k][0] for k in results)
+        assert statuses.count(503) >= 1, statuses
+        assert statuses.count(200) >= 2, statuses  # busy + the queued one
+        for key, (status, headers, body) in results.items():
+            if status == 503:
+                assert int(headers["retry-after"]) >= 1
+                assert b"queue is full" in body
+        assert health["max_queue"] == 1
+        assert 1 <= health["queue_peak"] <= 1
+
+    def test_breaker_trips_on_consecutive_500s_and_recovers(self, monkeypatch):
+        original = api.Session.simulate
+        broken = {"on": True}
+
+        def flaky(self, *args, **kwargs):
+            if broken["on"]:
+                raise RuntimeError("injected infrastructure failure")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(api.Session, "simulate", flaky)
+        handle = start_in_thread(
+            workers=1, breaker_threshold=2, breaker_reset_s=60.0
+        )
+        try:
+            first = post_simulate(
+                handle.host, handle.port, {"model": "lstm", "steps": 2}
+            )
+            second = post_simulate(
+                handle.host, handle.port, {"model": "lstm", "steps": 3}
+            )
+            health = json.loads(
+                http_request(handle.host, handle.port, "GET", "/v1/healthz")[2]
+            )
+            # with no trained surrogate the degraded path falls back to
+            # exact simulation — requests keep succeeding once the
+            # infrastructure fault clears, even with the breaker open
+            broken["on"] = False
+            third = post_simulate(
+                handle.host, handle.port, {"model": "lstm", "steps": 4}
+            )
+        finally:
+            handle.stop()
+        assert first[0] == 500 and second[0] == 500
+        assert health["breaker"]["open"] is True
+        assert health["breaker"]["consecutive_failures"] >= 2
+        assert health["counters"]["serve.breaker_trips"] == 1
+        assert third[0] == 200
+        assert "x-repro-degraded" not in third[1]
