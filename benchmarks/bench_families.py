@@ -1,0 +1,17 @@
+"""Benchmark E-FAM — modern workload families: transformer attention, GNN message passing, sparse embedding."""
+
+import pytest
+
+from repro.experiments import families
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("model", families.FAMILY_MODELS)
+def test_families(benchmark, model):
+    """One family's full characterization: profile, classification,
+    per-backend placement, fault sweep."""
+    result = benchmark.pedantic(
+        families.run, kwargs={"models": (model,)}, rounds=1, iterations=1
+    )
+    emit(f"families_{model}", families.format_result(result))

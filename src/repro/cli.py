@@ -62,7 +62,7 @@ from .units import GB, KB, MB, TB
 EXPERIMENT_IDS = (
     "table1", "fig2", "fig8", "fig9", "fig10", "fig11", "fig12",
     "fig13", "fig14", "fig15", "fig16", "fig17", "ablations", "compare",
-    "extensions", "faults", "summary",
+    "extensions", "families", "faults", "summary",
 )
 
 

@@ -24,6 +24,23 @@ class UnknownOpError(GraphError):
     """Raised when an operation type is not present in the op registry."""
 
 
+class UnclassifiedOpError(ReproError):
+    """Raised in strict classification when profiled op types have no
+    flop-count entry (Figure 2 would silently bucket them as zero-flop).
+
+    Attributes:
+        op_types: The sorted tuple of unclassifiable op type names.
+    """
+
+    def __init__(self, op_types):
+        self.op_types = tuple(sorted(op_types))
+        names = ", ".join(self.op_types)
+        super().__init__(
+            f"cannot classify op types without flop counts: {names}; "
+            "pass strict=False to classify them as CPU fallback"
+        )
+
+
 class HardwareConfigError(ReproError):
     """Raised for physically inconsistent hardware configurations."""
 

@@ -74,10 +74,11 @@ def run(
     steps: Optional[int] = None,
 ) -> Dict[str, Dict[str, CompareCell]]:
     """The comparison grid: ``result[backend][model]``."""
+    from ..nn.models import MODERN_MODELS
     from .common import cached_graph, resolve_configuration
 
     if models is None:
-        models = SMALL_MODELS if _SMALL else EVAL_MODELS
+        models = SMALL_MODELS if _SMALL else EVAL_MODELS + MODERN_MODELS
     if steps is None:
         steps = SMALL_STEPS if _SMALL else None
     if COMPARE_BACKENDS[0] not in backends:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from . import (
+    families,
     fig2,
     fig8,
     fig9,
@@ -40,6 +41,7 @@ ARTIFACTS: Tuple[Tuple[str, object], ...] = (
     ("Figure 15 — fixed-PIM utilization", fig15),
     ("Figure 16 — mixed workloads", fig16),
     ("Figure 17 — EDP & power vs frequency", fig17),
+    ("Families — modern workload characterization", families),
 )
 
 

@@ -42,13 +42,24 @@ PTB = DatasetSpec("ptb", sample_shape=(35,), vocab_size=10000)
 QUESTIONS_WORDS = DatasetSpec(
     "questions-words", sample_shape=(1,), vocab_size=50000
 )
+#: WikiText-2 language-modelling corpus (transformer encoder workload);
+#: one sample is a 128-token sequence.
+WIKITEXT2 = DatasetSpec("wikitext-2", sample_shape=(128,), vocab_size=33278)
+#: ogbn-arxiv-style citation graph (GNN workload); one sample is a 128-dim
+#: node feature vector, 40 subject classes.
+OGBN_ARXIV = DatasetSpec("ogbn-arxiv", sample_shape=(128,), num_classes=40)
+#: Criteo-style click log (embedding recommender workload); one sample is
+#: 13 dense features plus sparse categorical ids, binary label.
+CRITEO = DatasetSpec("criteo-clicks", sample_shape=(13,), num_classes=2)
 
 DATASETS: Mapping[str, DatasetSpec] = {
     spec.name: spec
-    for spec in (IMAGENET, IMAGENET_299, MNIST, PTB, QUESTIONS_WORDS)
+    for spec in (IMAGENET, IMAGENET_299, MNIST, PTB, QUESTIONS_WORDS,
+                 WIKITEXT2, OGBN_ARXIV, CRITEO)
 }
 
-#: Default training batch sizes (paper section V-C).
+#: Default training batch sizes (paper section V-C; modern-family defaults
+#: follow the reference implementations of each workload).
 DEFAULT_BATCH_SIZES: Mapping[str, int] = {
     "vgg-19": 32,
     "alexnet": 32,
@@ -57,4 +68,7 @@ DEFAULT_BATCH_SIZES: Mapping[str, int] = {
     "dcgan": 64,
     "lstm": 20,
     "word2vec": 128,
+    "transformer": 16,
+    "gnn": 1024,
+    "embedrec": 256,
 }

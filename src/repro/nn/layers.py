@@ -29,6 +29,7 @@ from .ops import (
     Op,
     OpCost,
     adam_cost,
+    batch_matmul_cost,
     conv2d_cost,
     data_movement_cost,
     elementwise_cost,
@@ -84,6 +85,7 @@ class GraphBuilder:
         self._param_grads: Dict[str, str] = {}
         self._loss_seeds: Dict[str, str] = {}
         self._stop_gradient: set = set()
+        self._sparse_rows: Dict[str, int] = {}
         self._uid = 0
 
     # ------------------------------------------------------------------
@@ -727,6 +729,227 @@ class GraphBuilder:
         return Activation(out.name, x.shape)
 
     # ------------------------------------------------------------------
+    # attention / normalization (transformer)
+    # ------------------------------------------------------------------
+    def batch_matmul(
+        self,
+        x: Activation,
+        y: Activation,
+        transpose_b: bool = False,
+        name: str = "bmm",
+    ) -> Activation:
+        """Batched matrix multiply (attention scores / context).
+
+        ``x`` is ``(B, M, K)``; ``y`` is ``(B, K, N)``, or ``(B, N, K)``
+        when ``transpose_b``.  The backward pass emits two BatchMatMuls,
+        mirroring TensorFlow's BatchMatMul gradient.
+        """
+        if len(x.shape) != 3 or len(y.shape) != 3:
+            raise ShapeError(
+                f"batch_matmul expects rank-3 inputs, got {x.shape} / {y.shape}"
+            )
+        bx, m, k = x.shape
+        if transpose_b:
+            by, n, k2 = y.shape
+        else:
+            by, k2, n = y.shape
+        if bx != by or k != k2:
+            raise ShapeError(
+                f"batch_matmul shape mismatch: {x.shape} x {y.shape} "
+                f"(transpose_b={transpose_b})"
+            )
+        out = self._tensor(f"{name}/bmm_out", (bx, m, n))
+        self._op(
+            f"{name}/BatchMatMul",
+            "BatchMatMul",
+            [x.tensor, y.tensor],
+            [out.name],
+            batch_matmul_cost(bx, m, k, n),
+            layer=name,
+            transpose_b=transpose_b,
+        )
+
+        def backward(grad_out: str) -> Mapping[str, str]:
+            grads: Dict[str, str] = {}
+            if self._needs_grad(x.tensor):
+                gx = self._tensor(f"grad/{name}/a", x.shape)
+                self._op(
+                    f"{name}/BatchMatMulGradA", "BatchMatMul",
+                    [grad_out, y.tensor], [gx.name],
+                    batch_matmul_cost(bx, m, n, k), layer=name,
+                    transpose_b=not transpose_b,
+                )
+                grads[x.tensor] = gx.name
+            if self._needs_grad(y.tensor):
+                gy = self._tensor(f"grad/{name}/b", y.shape)
+                self._op(
+                    f"{name}/BatchMatMulGradB", "BatchMatMul",
+                    [x.tensor, grad_out], [gy.name],
+                    batch_matmul_cost(bx, k, m, n), layer=name,
+                    transpose_a=True,
+                )
+                grads[y.tensor] = gy.name
+            return grads
+
+        self._record(name, out.name, backward)
+        return Activation(out.name, (bx, m, n))
+
+    def softmax(self, x: Activation, name: str = "softmax") -> Activation:
+        """Standalone softmax over the last axis (attention weights)."""
+        out = self._tensor(f"{name}/softmax_out", x.shape)
+        self._op(
+            f"{name}/Softmax", "Softmax", [x.tensor], [out.name],
+            elementwise_cost(x.num_elements, flops_per_element=5.0),
+            layer=name,
+        )
+
+        def backward(grad_out: str) -> Mapping[str, str]:
+            if not self._needs_grad(x.tensor):
+                return {}
+            gi = self._tensor(f"grad/{name}/input", x.shape)
+            self._op(
+                f"{name}/SoftmaxGrad", "SoftmaxGrad",
+                [grad_out, out.name], [gi.name],
+                elementwise_cost(x.num_elements, n_inputs=2,
+                                 flops_per_element=4.0),
+                layer=name,
+            )
+            return {x.tensor: gi.name}
+
+        self._record(name, out.name, backward)
+        return Activation(out.name, x.shape)
+
+    def layer_norm(self, x: Activation, name: str = "ln") -> Activation:
+        """Layer normalization over the last axis (transformer blocks)."""
+        features = x.shape[-1]
+        scale = self._param(f"{name}/gamma", (features,))
+        offset = self._param(f"{name}/beta", (features,))
+        out = self._tensor(f"{name}/ln_out", x.shape)
+        numel = x.num_elements
+        rows = max(1, numel // features)
+        in_spec = self.graph.tensor(x.tensor)
+        self._op(
+            f"{name}/LayerNorm",
+            "LayerNorm",
+            [x.tensor, scale.name, offset.name],
+            [out.name],
+            OpCost(muls=2 * numel, adds=2 * numel, other_flops=4 * rows,
+                   bytes_in=in_spec.nbytes, bytes_out=in_spec.nbytes,
+                   parallelism=rows),
+            params_read=(scale.name, offset.name),
+            layer=name,
+        )
+
+        def backward(grad_out: str) -> Mapping[str, str]:
+            gi = self._tensor(f"grad/{name}/input", x.shape)
+            gs = self._tensor(f"grad/{name}/gamma", (features,))
+            gb = self._tensor(f"grad/{name}/beta", (features,))
+            self._op(
+                f"{name}/LayerNormGrad",
+                "LayerNormGrad",
+                [grad_out, x.tensor],
+                [gi.name, gs.name, gb.name],
+                OpCost(muls=3 * numel, adds=3 * numel,
+                       other_flops=6 * rows,
+                       bytes_in=2 * in_spec.nbytes, bytes_out=in_spec.nbytes,
+                       parallelism=rows),
+                layer=name,
+            )
+            self._register_grad(scale.name, gs.name)
+            self._register_grad(offset.name, gb.name)
+            if not self._needs_grad(x.tensor):
+                return {}
+            return {x.tensor: gi.name}
+
+        self._record(name, out.name, backward)
+        return Activation(out.name, x.shape)
+
+    # ------------------------------------------------------------------
+    # message passing (GNN)
+    # ------------------------------------------------------------------
+    def gather(
+        self, x: Activation, indices: Activation, name: str = "gather"
+    ) -> Activation:
+        """Gather rows of a node-state matrix by an index tensor.
+
+        ``x`` is ``(N, F)`` node states, ``indices`` is ``(E,)`` edge
+        endpoints; the gradient scatters back with UnsortedSegmentSum —
+        the message-passing half of a GNN layer.
+        """
+        if len(x.shape) != 2:
+            raise ShapeError(f"gather expects a 2-D source, got {x.shape}")
+        n_rows, feat = x.shape
+        e = indices.num_elements
+        out_shape = indices.shape + (feat,)
+        out = self._tensor(f"{name}/gathered", out_shape)
+        self._op(
+            f"{name}/GatherV2", "GatherV2",
+            [x.tensor, indices.tensor], [out.name],
+            OpCost(other_flops=e, bytes_in=e * feat * 4 + e * 4,
+                   bytes_out=e * feat * 4, parallelism=max(1, e)),
+            layer=name,
+        )
+
+        def backward(grad_out: str) -> Mapping[str, str]:
+            if not self._needs_grad(x.tensor):
+                return {}
+            gi = self._tensor(f"grad/{name}/input", x.shape)
+            self._op(
+                f"{name}/UnsortedSegmentSum", "UnsortedSegmentSum",
+                [grad_out, indices.tensor], [gi.name],
+                OpCost(adds=e * feat, bytes_in=e * feat * 4 + e * 4,
+                       bytes_out=n_rows * feat * 4,
+                       parallelism=max(1, feat)),
+                layer=name,
+            )
+            return {x.tensor: gi.name}
+
+        self._record(name, out.name, backward)
+        return Activation(out.name, out_shape)
+
+    def segment_sum(
+        self,
+        x: Activation,
+        segment_ids: Activation,
+        num_segments: int,
+        name: str = "segsum",
+    ) -> Activation:
+        """Sum rows of ``x`` into ``num_segments`` buckets (GNN aggregate).
+
+        ``x`` is ``(E, F)`` edge messages, ``segment_ids`` is ``(E,)``
+        destination nodes; the gradient gathers back along the same ids.
+        """
+        if len(x.shape) != 2:
+            raise ShapeError(f"segment_sum expects 2-D messages, got {x.shape}")
+        e, feat = x.shape
+        out = self._tensor(f"{name}/segments", (num_segments, feat))
+        self._op(
+            f"{name}/UnsortedSegmentSum", "UnsortedSegmentSum",
+            [x.tensor, segment_ids.tensor], [out.name],
+            OpCost(adds=e * feat, bytes_in=e * feat * 4 + e * 4,
+                   bytes_out=num_segments * feat * 4,
+                   parallelism=max(1, feat)),
+            layer=name,
+            num_segments=num_segments,
+        )
+
+        def backward(grad_out: str) -> Mapping[str, str]:
+            if not self._needs_grad(x.tensor):
+                return {}
+            gi = self._tensor(f"grad/{name}/input", x.shape)
+            self._op(
+                f"{name}/GatherV2", "GatherV2",
+                [grad_out, segment_ids.tensor], [gi.name],
+                OpCost(other_flops=e, bytes_in=e * feat * 4 + e * 4,
+                       bytes_out=e * feat * 4, parallelism=max(1, e)),
+                layer=name,
+            )
+            return {x.tensor: gi.name}
+
+        self._record(name, out.name, backward)
+        return Activation(out.name, (num_segments, feat))
+
+    # ------------------------------------------------------------------
     # structural ops
     # ------------------------------------------------------------------
     def concat(self, xs: Sequence[Activation], name: str = "concat") -> Activation:
@@ -897,10 +1120,22 @@ class GraphBuilder:
         embed_dim: int,
         ids: Activation,
         name: str = "embedding",
+        sparse_update: bool = False,
     ) -> Activation:
-        """Gather rows of an embedding matrix; grad is UnsortedSegmentSum."""
+        """Gather rows of an embedding matrix; grad is UnsortedSegmentSum.
+
+        With ``sparse_update`` the optimizer update for the table touches
+        only the gathered rows (sparse ApplyAdam — the recommender-model
+        path) instead of the full ``vocab_size x embed_dim`` matrix.
+        """
         table = self._param(f"{name}/table", (vocab_size, embed_dim))
         n = ids.num_elements
+        if sparse_update:
+            rows = min(vocab_size, n)
+            prev = self._sparse_rows.get(table.name)
+            self._sparse_rows[table.name] = (
+                rows if prev is None else min(vocab_size, prev + rows)
+            )
         out = self._tensor(f"{name}/gathered", ids.shape + (embed_dim,))
         self._op(
             f"{name}/GatherV2", "GatherV2",
@@ -1073,6 +1308,18 @@ class GraphBuilder:
                 continue  # frozen / unused parameter
             updated = self._tensor(f"{param}/updated", spec.shape)
             n = spec.num_elements
+            sparse_rows = self._sparse_rows.get(param)
+            attrs: Dict[str, object] = {}
+            if sparse_rows is not None:
+                # sparse optimizer update: only the gathered rows are
+                # touched, so the update cost scales with the minibatch's
+                # id set, not the full table.
+                row_elems = (
+                    spec.num_elements // spec.shape[0]
+                    if len(spec.shape) > 1 else 1
+                )
+                n = min(spec.num_elements, sparse_rows * row_elems)
+                attrs["sparse_rows"] = sparse_rows
             cost = adam_cost(n) if optimizer == "adam" else elementwise_cost(
                 n, n_inputs=2, flops_per_element=2.0, mac=True
             )
@@ -1084,6 +1331,7 @@ class GraphBuilder:
                 cost,
                 param_written=param,
                 layer=param,
+                **attrs,
             )
 
     @property

@@ -15,9 +15,12 @@ from ..datasets import DEFAULT_BATCH_SIZES
 from ..graph import Graph
 from .alexnet import build_alexnet
 from .dcgan import build_dcgan
+from .embedrec import build_embedrec
+from .gnn import build_gnn
 from .inception import build_inception_v3
 from .lstm import build_lstm
 from .resnet import build_resnet50
+from .transformer import build_transformer
 from .vgg import build_vgg19
 from .word2vec import build_word2vec
 
@@ -29,13 +32,62 @@ _BUILDERS: Dict[str, Callable[[int], Graph]] = {
     "inception-v3": build_inception_v3,
     "lstm": build_lstm,
     "word2vec": build_word2vec,
+    "transformer": build_transformer,
+    "gnn": build_gnn,
+    "embedrec": build_embedrec,
 }
 
 #: The five CNN models of the main evaluation (Figures 8-15).
 CNN_MODELS = ("vgg-19", "alexnet", "dcgan", "resnet-50", "inception-v3")
 #: The non-CNN co-run partners of the mixed-workload study (Figure 16).
 NON_CNN_MODELS = ("lstm", "word2vec")
-ALL_MODELS = CNN_MODELS + NON_CNN_MODELS
+#: Post-paper workload families: transformer attention, GNN message
+#: passing, embedding-heavy recommendation.
+MODERN_MODELS = ("transformer", "gnn", "embedrec")
+ALL_MODELS = CNN_MODELS + NON_CNN_MODELS + MODERN_MODELS
+
+#: Workload family of each model — the granularity at which surrogate
+#: calibration transfers (a CNN-trained surrogate says nothing about a
+#: transformer's step time).
+MODEL_FAMILIES: Dict[str, str] = {
+    "vgg-19": "cnn",
+    "alexnet": "cnn",
+    "dcgan": "cnn",
+    "resnet-50": "cnn",
+    "inception-v3": "cnn",
+    "lstm": "rnn",
+    "word2vec": "embedding",
+    "transformer": "transformer",
+    "gnn": "gnn",
+    "embedrec": "embedding",
+}
+
+
+def workload_family(model_name: str) -> Optional[str]:
+    """Family of ``model_name``, or ``None`` if unrecognized.
+
+    Understands merged co-run names (``"vgg-19+4xword2vec"``, including
+    the surrogate's ``"+*x"`` calibration wildcard): when every component
+    maps to a family the result joins the distinct families with ``"+"``;
+    any unknown component yields ``None``.
+    """
+    direct = MODEL_FAMILIES.get(model_name)
+    if direct is not None:
+        return direct
+    if "+" not in model_name:
+        return None
+    families = []
+    for part in model_name.split("+"):
+        if "x" in part:
+            head, _, tail = part.partition("x")
+            if tail and (head == "*" or head.isdigit()):
+                part = tail
+        family = MODEL_FAMILIES.get(part)
+        if family is None:
+            return None
+        if family not in families:
+            families.append(family)
+    return "+".join(families)
 
 
 def available_models() -> List[str]:
@@ -62,14 +114,20 @@ def build_model(name: str, batch_size: Optional[int] = None) -> Graph:
 __all__ = [
     "ALL_MODELS",
     "CNN_MODELS",
+    "MODEL_FAMILIES",
+    "MODERN_MODELS",
     "NON_CNN_MODELS",
     "available_models",
     "build_alexnet",
     "build_dcgan",
+    "build_embedrec",
+    "build_gnn",
     "build_inception_v3",
     "build_lstm",
     "build_model",
     "build_resnet50",
+    "build_transformer",
     "build_vgg19",
     "build_word2vec",
+    "workload_family",
 ]

@@ -1,0 +1,54 @@
+"""Embedding-heavy click-through recommender (DLRM-style, Naumov et al., 2019).
+
+Extends word2vec's sparse path to the memory-bound extreme: eight large
+embedding tables gathered with multi-hot id lists (GatherV2), sparse
+ApplyAdam updates that touch only the gathered rows, a small bottom MLP
+over dense features, and a top MLP over the concatenated representation.
+Step time is dominated by irregular table traffic — the case where
+fixed-function PIM should shine.
+"""
+
+from __future__ import annotations
+
+from ..datasets import CRITEO
+from ..graph import Graph
+from ..layers import GraphBuilder
+
+DENSE_FEATURES = CRITEO.sample_shape[0]
+NUM_TABLES = 8
+TABLE_ROWS = 200_000
+EMBED_DIM = 64
+#: Multi-hot ids gathered per table per sample.
+IDS_PER_SAMPLE = 4
+BOTTOM_MLP = (64, 64)
+TOP_MLP = (512, 256)
+
+
+def build_embedrec(batch_size: int = 256) -> Graph:
+    """Build one recommender training step over ``batch_size`` samples."""
+    b = GraphBuilder("embedrec", batch_size=batch_size, dataset=CRITEO.name)
+
+    dense_in = b.input((batch_size, DENSE_FEATURES), name="dense_features")
+    bottom = dense_in
+    for i, units in enumerate(BOTTOM_MLP):
+        bottom = b.dense(bottom, units, activation="relu", name=f"bottom{i}")
+
+    ids_per_table = batch_size * IDS_PER_SAMPLE
+    features = [bottom]
+    for t in range(NUM_TABLES):
+        ids = b.input((ids_per_table,), name=f"table{t}_ids")
+        rows = b.embedding_lookup(
+            TABLE_ROWS, EMBED_DIM, ids, name=f"table{t}", sparse_update=True
+        )
+        pooled = b.reshape(
+            rows, (batch_size, IDS_PER_SAMPLE * EMBED_DIM), name=f"table{t}/pool"
+        )
+        features.append(pooled)
+
+    interact = b.concat(features, name="interact")
+    top = interact
+    for i, units in enumerate(TOP_MLP):
+        top = b.dense(top, units, activation="relu", name=f"top{i}")
+    logits = b.dense(top, 1, activation=None, name="click_logit")
+    b.sigmoid_loss(logits, name="loss")
+    return b.finish()

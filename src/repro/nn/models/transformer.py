@@ -1,0 +1,73 @@
+"""Transformer encoder block (Vaswani et al., 2017) for language modelling.
+
+A small encoder over WikiText-2-sized vocabulary: token embedding, two
+encoder layers (multi-head scaled-dot-product attention + position-wise
+FFN, each with residual + LayerNorm and dropout), and a tied-size output
+projection.  Attention is expressed with the BatchMatMul / Softmax /
+Dropout op vocabulary so the profiler sees the modern kernel mix the
+2018-era CNN set lacks.
+"""
+
+from __future__ import annotations
+
+from ..datasets import WIKITEXT2
+from ..graph import Graph
+from ..layers import Activation, GraphBuilder
+
+SEQ_LEN = WIKITEXT2.sample_shape[0]
+D_MODEL = 512
+NUM_HEADS = 8
+HEAD_DIM = D_MODEL // NUM_HEADS
+FFN_DIM = 2048
+NUM_LAYERS = 2
+
+
+def _encoder_layer(
+    b: GraphBuilder, x: Activation, batch_size: int, name: str
+) -> Activation:
+    """One encoder layer over tokens flattened to ``(B*S, D_MODEL)``."""
+    tokens = batch_size * SEQ_LEN
+    heads = batch_size * NUM_HEADS
+
+    q = b.dense(x, D_MODEL, activation=None, name=f"{name}/q")
+    k = b.dense(x, D_MODEL, activation=None, name=f"{name}/k")
+    v = b.dense(x, D_MODEL, activation=None, name=f"{name}/v")
+    qh = b.reshape(q, (heads, SEQ_LEN, HEAD_DIM), name=f"{name}/q_heads")
+    kh = b.reshape(k, (heads, SEQ_LEN, HEAD_DIM), name=f"{name}/k_heads")
+    vh = b.reshape(v, (heads, SEQ_LEN, HEAD_DIM), name=f"{name}/v_heads")
+
+    scores = b.batch_matmul(qh, kh, transpose_b=True, name=f"{name}/scores")
+    weights = b.softmax(scores, name=f"{name}/attn")
+    weights = b.dropout(weights, name=f"{name}/attn_drop")
+    context = b.batch_matmul(weights, vh, name=f"{name}/context")
+    context2d = b.reshape(context, (tokens, D_MODEL), name=f"{name}/merge")
+    attn_out = b.dense(context2d, D_MODEL, activation=None, name=f"{name}/proj")
+    attn_out = b.dropout(attn_out, name=f"{name}/proj_drop")
+    x = b.add(x, attn_out, name=f"{name}/res1")
+    x = b.layer_norm(x, name=f"{name}/ln1")
+
+    h = b.dense(x, FFN_DIM, activation="relu", name=f"{name}/ffn1")
+    h = b.dense(h, D_MODEL, activation=None, name=f"{name}/ffn2")
+    h = b.dropout(h, name=f"{name}/ffn_drop")
+    x = b.add(x, h, name=f"{name}/res2")
+    return b.layer_norm(x, name=f"{name}/ln2")
+
+
+def build_transformer(batch_size: int = 16) -> Graph:
+    """Build one encoder training step over ``batch_size`` sequences."""
+    b = GraphBuilder(
+        "transformer", batch_size=batch_size, dataset=WIKITEXT2.name
+    )
+    tokens = batch_size * SEQ_LEN
+    token_ids = b.input((batch_size, SEQ_LEN), name="token_ids")
+    embedded = b.embedding_lookup(
+        WIKITEXT2.vocab_size, D_MODEL, token_ids, name="embedding"
+    )
+    x = b.reshape(embedded, (tokens, D_MODEL), name="flatten_tokens")
+    for layer in range(NUM_LAYERS):
+        x = _encoder_layer(b, x, batch_size, name=f"layer{layer}")
+    logits = b.dense(
+        x, WIKITEXT2.vocab_size, activation=None, use_bias=False, name="lm_head"
+    )
+    b.softmax_loss(logits, WIKITEXT2.vocab_size, name="loss")
+    return b.finish()

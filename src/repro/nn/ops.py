@@ -106,6 +106,13 @@ def _registry() -> Dict[str, OpTypeInfo]:
         # --- dense MAC ops: fixed-function targets ---------------------
         OpTypeInfo("MatMul", f, traffic_factor=1.15, cpu_compute_eff=0.90,
                    mac_chunks=2),
+        # Batched MatMul (transformer attention): same dense-MAC profile as
+        # MatMul, but contemporary TF batches the GEMMs with a strided
+        # kernel that is slightly less cache-friendly than the single-GEMM
+        # path.
+        OpTypeInfo("BatchMatMul", f, traffic_factor=1.20,
+                   cpu_traffic_factor=1.4, cpu_compute_eff=0.80,
+                   mac_chunks=2),
         OpTypeInfo("Conv2D", f, traffic_factor=1.10, cpu_traffic_factor=2.0,
                    cpu_compute_eff=0.85, mac_chunks=2),
         OpTypeInfo("Conv2DTranspose", f, traffic_factor=1.20,
@@ -139,6 +146,14 @@ def _registry() -> Dict[str, OpTypeInfo]:
                    cpu_mem_eff=0.50, mac_chunks=2),
         OpTypeInfo("FusedBatchNormGrad", f, traffic_factor=1.2,
                    cpu_traffic_factor=1.2, cpu_mem_eff=0.40, mac_chunks=3),
+        # LayerNorm (transformer blocks): like FusedBatchNorm, the
+        # normalize/scale/shift core is pure multiply-add with a small
+        # per-row rsqrt residue, so both directions stay fixed-function
+        # eligible.
+        OpTypeInfo("LayerNorm", f, cpu_traffic_factor=0.50,
+                   cpu_mem_eff=0.50, mac_chunks=2),
+        OpTypeInfo("LayerNormGrad", f, traffic_factor=1.2,
+                   cpu_traffic_factor=1.2, cpu_mem_eff=0.40, mac_chunks=3),
         OpTypeInfo("SparseSoftmaxCrossEntropyWithLogits", h,
                    cpu_traffic_factor=0.30, cpu_compute_eff=0.40,
                    mac_chunks=2, stages_bytes_factor=0.2),
@@ -154,6 +169,8 @@ def _registry() -> Dict[str, OpTypeInfo]:
                    cpu_mem_eff=0.50),
         OpTypeInfo("Softmax", p, cpu_traffic_factor=0.30,
                    cpu_compute_eff=0.40),
+        OpTypeInfo("SoftmaxGrad", p, cpu_traffic_factor=0.30,
+                   cpu_compute_eff=0.45),
         OpTypeInfo("LRN", p, cpu_traffic_factor=0.20, cpu_compute_eff=0.30),
         OpTypeInfo("LRNGrad", p, cpu_traffic_factor=0.30,
                    cpu_compute_eff=0.20),
@@ -347,6 +364,24 @@ def matmul_cost(m: int, k: int, n: int, dtype_bytes: int = 4) -> OpCost:
         bytes_in=(m * k + k * n) * dtype_bytes,
         bytes_out=m * n * dtype_bytes,
         parallelism=max(1, k),
+    )
+
+
+def batch_matmul_cost(
+    batch: int, m: int, k: int, n: int, dtype_bytes: int = 4
+) -> OpCost:
+    """Cost of ``batch`` independent ``m x k`` by ``k x n`` GEMMs.
+
+    The attention pattern: every GEMM in the batch is independent, so the
+    MAC core exposes one fixed-function pair per (batch, k) slice.
+    """
+    macs = batch * m * k * n
+    return OpCost(
+        muls=macs,
+        adds=macs,
+        bytes_in=batch * (m * k + k * n) * dtype_bytes,
+        bytes_out=batch * m * n * dtype_bytes,
+        parallelism=max(1, batch * k),
     )
 
 

@@ -6,6 +6,7 @@ from .classify import (
     category_members,
     classify_type,
     classify_workload,
+    unclassified_ops,
 )
 from .counters import CACHE_LINE_BYTES, CounterSample, sample_counters
 from .profiler import OpProfile, TypeProfile, WorkloadProfile, WorkloadProfiler
@@ -23,4 +24,5 @@ __all__ = [
     "classify_type",
     "classify_workload",
     "sample_counters",
+    "unclassified_ops",
 ]

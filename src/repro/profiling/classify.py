@@ -17,16 +17,21 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..errors import UnclassifiedOpError
 from .profiler import TypeProfile, WorkloadProfile
 
 
 class OpCategory(enum.IntEnum):
-    """Figure 2 categories."""
+    """Figure 2 categories (plus the unknown-op fallback bucket)."""
 
     COMPUTE_INTENSIVE = 1
     COMPUTE_AND_MEMORY_INTENSIVE = 2
     MEMORY_INTENSIVE = 3
     NEGLIGIBLE = 4
+    #: Op types profiled but absent from the flop-count table: their
+    #: intensity is unknowable, so they stay on the CPU rather than being
+    #: silently misclassified as zero-flop memory traffic.
+    CPU_FALLBACK = 5
 
 
 @dataclass(frozen=True)
@@ -70,14 +75,38 @@ def classify_workload(
     profile: WorkloadProfile,
     flops_by_type: Dict[str, int],
     thresholds: ClassificationThresholds = ClassificationThresholds(),
+    strict: bool = False,
 ) -> Dict[str, OpCategory]:
-    """Figure 2 classification of every op type in a workload profile."""
-    return {
-        t.op_type: classify_type(
-            t, flops_by_type.get(t.op_type, 0), thresholds
-        )
-        for t in profile.by_type
-    }
+    """Figure 2 classification of every op type in a workload profile.
+
+    Profiled op types with no entry in ``flops_by_type`` cannot be placed
+    on the intensity plane.  Previously they were treated as zero-flop and
+    silently landed in the memory-intensive/negligible buckets; now they
+    classify as :attr:`OpCategory.CPU_FALLBACK` (count them with
+    :func:`unclassified_ops`), or raise :class:`UnclassifiedOpError` when
+    ``strict``.  An explicit ``flops_by_type[t] == 0`` still means "this
+    op really does no arithmetic" and classifies normally.
+    """
+    unknown = [t.op_type for t in profile.by_type
+               if t.op_type not in flops_by_type]
+    if strict and unknown:
+        raise UnclassifiedOpError(unknown)
+    result: Dict[str, OpCategory] = {}
+    for t in profile.by_type:
+        if t.op_type not in flops_by_type:
+            result[t.op_type] = OpCategory.CPU_FALLBACK
+        else:
+            result[t.op_type] = classify_type(
+                t, flops_by_type[t.op_type], thresholds
+            )
+    return result
+
+
+def unclassified_ops(classification: Dict[str, OpCategory]) -> int:
+    """Number of op types that fell back to CPU for lack of flop counts."""
+    return sum(
+        1 for c in classification.values() if c is OpCategory.CPU_FALLBACK
+    )
 
 
 def category_members(

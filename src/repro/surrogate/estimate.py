@@ -30,8 +30,9 @@ from ..nn.graph import Graph
 from ..sim.activity import TimeBreakdown
 from ..sim.policy import SchedulingPolicy
 from ..sim.results import RunResult
+from ..nn.models import workload_family
 from .errors import SurrogateUnavailable
-from .features import featurize, prepare_policy
+from .features import calibration_name, featurize, prepare_policy
 from .model import SurrogateModel, load_model
 
 
@@ -65,6 +66,24 @@ def estimate_run(
             "fault-injected runs are outside the surrogate's trained "
             "domain (training set was fault-free); using exact simulation"
         )
+    # family guard: the global-tier correction would otherwise silently
+    # extrapolate a CNN-trained friction onto, say, a transformer query
+    query_family = workload_family(calibration_name(graph.name))
+    if query_family is not None:
+        trained_families = {
+            family
+            for family in map(
+                workload_family, model.trained_calibration_names()
+            )
+            if family is not None
+        }
+        if trained_families and query_family not in trained_families:
+            raise SurrogateUnavailable(
+                f"workload family {query_family!r} (graph {graph.name!r}) "
+                f"is outside the surrogate's trained domain (trained "
+                f"families: {sorted(trained_families)}); using exact "
+                f"simulation"
+            )
     prepare_policy(graph, policy, system)
     bundle = featurize(graph, policy, system, faults=faults)
     preds = model.predict_step(bundle)

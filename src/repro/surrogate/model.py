@@ -129,6 +129,24 @@ class SurrogateModel:
             }
         return out
 
+    def trained_calibration_names(self) -> Tuple[str, ...]:
+        """Calibration-grain graph names seen by any head's key tier.
+
+        Keys are stored as JSON-encoded tuples whose first element is the
+        calibration name; this recovers the set of graphs the model was
+        actually fitted on (the domain the family guard checks against).
+        """
+        names = set()
+        for head in self.heads.values():
+            for kstr in head.get("key_corr", {}):
+                try:
+                    key = json.loads(kstr)
+                except ValueError:  # pragma: no cover - writer emits JSON
+                    continue
+                if key and isinstance(key[0], str):
+                    names.add(key[0])
+        return tuple(sorted(names))
+
     @property
     def faulted_rows(self) -> int:
         return int(self.meta.get("faulted_rows", 0))

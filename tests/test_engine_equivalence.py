@@ -9,26 +9,69 @@ canonical JSON — must match the original scalar engine
 
 import os
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import build_configuration
 from repro.faults import FaultSpec
 from repro.nn.layers import GraphBuilder
+from repro.nn.models import build_model
 from repro.sim.simulation import Simulation
 
 CONFIGS = ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim")
+
+#: One representative per new workload family (attention / message
+#: passing / sparse embedding) — the optable must stay a pure performance
+#: transformation over their op vocabulary too.
+MODERN_MODELS = ("transformer", "gnn", "embedrec")
 
 
 @st.composite
 def small_training_graph(draw):
     batch = draw(st.integers(min_value=1, max_value=8))
     b = GraphBuilder("equiv-model", batch_size=batch)
-    if draw(st.booleans()):
+    flavor = draw(
+        st.sampled_from(("cnn", "mlp", "attention", "gnn", "embedding"))
+    )
+    if flavor == "cnn":
         side = draw(st.sampled_from([4, 8]))
         x = b.input((batch, side, side, draw(st.integers(1, 4))))
         x = b.conv2d(x, draw(st.integers(1, 8)), (3, 3), name="conv0")
         x = b.flatten(x)
+    elif flavor == "attention":
+        seq = draw(st.sampled_from([2, 4]))
+        dm = draw(st.sampled_from([4, 8]))
+        x = b.input((batch * seq, dm))
+        q = b.dense(x, dm, activation=None, name="q")
+        k = b.dense(x, dm, activation=None, name="k")
+        v = b.dense(x, dm, activation=None, name="v")
+        qh = b.reshape(q, (batch, seq, dm), name="qh")
+        kh = b.reshape(k, (batch, seq, dm), name="kh")
+        vh = b.reshape(v, (batch, seq, dm), name="vh")
+        scores = b.batch_matmul(qh, kh, transpose_b=True, name="scores")
+        weights = b.softmax(scores, name="attn")
+        weights = b.dropout(weights, name="attn_drop")
+        ctx = b.batch_matmul(weights, vh, name="ctx")
+        x = b.reshape(ctx, (batch * seq, dm), name="merge")
+        x = b.layer_norm(x, name="ln")
+    elif flavor == "gnn":
+        nodes = batch * 2
+        edges = nodes * draw(st.integers(1, 3))
+        feat = draw(st.sampled_from([2, 4]))
+        h = b.input((nodes, feat))
+        src = b.input((edges,), name="src")
+        dst = b.input((edges,), name="dst")
+        msgs = b.gather(h, src, name="gather0")
+        agg = b.segment_sum(msgs, dst, nodes, name="agg0")
+        x = b.concat([h, agg], name="combine")
+    elif flavor == "embedding":
+        ids = b.input((batch * 2,), name="ids")
+        emb = b.embedding_lookup(
+            draw(st.sampled_from([16, 64])), 4, ids, name="emb",
+            sparse_update=draw(st.booleans()),
+        )
+        x = b.reshape(emb, (batch, 8), name="pool")
     else:
         x = b.input((batch, draw(st.integers(2, 32))))
     for i in range(draw(st.integers(1, 3))):
@@ -90,4 +133,13 @@ def test_vectorized_matches_scalar_with_faults(
     )
     vec = _run(graph, config_name, 2, faults, "vector")
     sca = _run(graph, config_name, 2, faults, "scalar")
+    assert vec.to_json() == sca.to_json()
+
+
+@pytest.mark.parametrize("model", MODERN_MODELS)
+@pytest.mark.parametrize("config_name", ("cpu", "hetero-pim"))
+def test_modern_zoo_models_match_scalar(model, config_name):
+    graph = build_model(model)
+    vec = _run(graph, config_name, 1, None, "vector")
+    sca = _run(graph, config_name, 1, None, "scalar")
     assert vec.to_json() == sca.to_json()

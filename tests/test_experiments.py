@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments import (
     ablation,
+    families,
     fig2,
     fig8,
     fig9,
@@ -82,6 +83,26 @@ class TestFig2:
         assert "Conv2DBackpropFilter" in data.members(
             OpCategory.COMPUTE_AND_MEMORY_INTENSIVE
         )
+
+
+class TestFamilies:
+    def test_run_and_format_one_family(self):
+        result = families.run(models=("gnn",))
+        data = result["gnn"]
+        assert data.family == "gnn"
+        assert data.unclassified == 0
+        assert 0.5 < data.offload_time_coverage <= 1.0
+        assert 0.0 < data.offload_memory_coverage <= 1.0
+        # message passing is programmable-PIM dominated
+        assert data.class_time_shares["prog"] > 0.5
+        assert set(data.backends) == {"hmc-hetero", "gradpim", "neurotrainer"}
+        for cell in data.backends.values():
+            assert cell.step_time_s > 0
+            assert cell.dynamic_energy_j > 0
+        assert data.fault_time_overheads[0] == pytest.approx(0.0)
+        text = families.format_result(result)
+        assert "GatherV2" in text
+        assert "neurotrainer" in text
 
 
 class TestFig8:

@@ -6,9 +6,11 @@ from repro.errors import ReproError
 from repro.nn.models import (
     ALL_MODELS,
     CNN_MODELS,
+    MODERN_MODELS,
     NON_CNN_MODELS,
     available_models,
     build_model,
+    workload_family,
 )
 
 
@@ -19,8 +21,21 @@ def graphs():
 
 class TestRegistry:
     def test_model_lists(self):
-        assert set(CNN_MODELS) | set(NON_CNN_MODELS) == set(ALL_MODELS)
+        assert (
+            set(CNN_MODELS) | set(NON_CNN_MODELS) | set(MODERN_MODELS)
+            == set(ALL_MODELS)
+        )
         assert set(available_models()) == set(ALL_MODELS)
+
+    def test_every_model_has_a_family(self):
+        for model in ALL_MODELS:
+            assert workload_family(model) is not None
+
+    def test_corun_family_parsing(self):
+        assert workload_family("vgg-19+4xword2vec") == "cnn+embedding"
+        assert workload_family("vgg-19+*xword2vec") == "cnn+embedding"
+        assert workload_family("vgg-19+4xmystery") is None
+        assert workload_family("mystery") is None
 
     def test_unknown_model_rejected(self):
         with pytest.raises(ReproError):
@@ -36,6 +51,9 @@ class TestRegistry:
         assert graphs["word2vec"].batch_size == 128
         assert graphs["dcgan"].batch_size == 64
         assert graphs["lstm"].batch_size == 20
+        assert graphs["transformer"].batch_size == 16
+        assert graphs["gnn"].batch_size == 1024
+        assert graphs["embedrec"].batch_size == 256
 
     def test_all_graphs_validate(self, graphs):
         for g in graphs.values():
@@ -95,6 +113,93 @@ class TestTable1Invocations:
         assert counts["GatherV2"] == 1
         assert counts["UnsortedSegmentSum"] == 1
         assert counts["NceLoss"] == 1
+
+
+class TestModernFamilies:
+    """Structure of the transformer / GNN / recommender workloads."""
+
+    def test_transformer_attention_ops(self, graphs):
+        counts = graphs["transformer"].invocation_counts()
+        # 2 layers x (QK^T + attn-V) forward, each with 2 backward BMMs
+        assert counts["BatchMatMul"] == 12
+        assert counts["Softmax"] == 2
+        assert counts["SoftmaxGrad"] == 2
+        assert counts["LayerNorm"] == 4
+        assert counts["LayerNormGrad"] == 4
+        # 3 dropouts per layer, each with a backward
+        assert counts["Dropout"] == 6
+        assert counts["DropoutGrad"] == 6
+        assert counts["GatherV2"] == 1  # token embedding
+
+    def test_gnn_message_passing_ops(self, graphs):
+        counts = graphs["gnn"].invocation_counts()
+        # 2 layers: fwd gather + bwd segment-grad gather x 2
+        assert counts["GatherV2"] == 4
+        assert counts["UnsortedSegmentSum"] == 3
+        assert counts["ConcatV2"] == 2
+
+    def test_embedrec_sparse_tables(self, graphs):
+        counts = graphs["embedrec"].invocation_counts()
+        assert counts["GatherV2"] == 8  # one gather per table
+        assert counts["UnsortedSegmentSum"] == 8
+
+    def test_embedrec_sparse_adam_touches_gathered_rows_only(self, graphs):
+        from repro.nn.models.embedrec import (
+            EMBED_DIM, IDS_PER_SAMPLE, TABLE_ROWS,
+        )
+        tables = [
+            op for op in graphs["embedrec"].ops_of_type("ApplyAdam")
+            if op.attrs.get("sparse_rows")
+        ]
+        assert len(tables) == 8
+        batch = graphs["embedrec"].batch_size
+        rows = batch * IDS_PER_SAMPLE
+        for op in tables:
+            assert op.attrs["sparse_rows"] == rows
+            # adam_cost(n): 4 muls per updated element, far below the
+            # full-table count
+            assert op.cost.muls == 4 * rows * EMBED_DIM
+            assert op.cost.muls < 4 * TABLE_ROWS * EMBED_DIM
+
+    def test_dense_embedding_update_is_unchanged(self, graphs):
+        # word2vec keeps the dense path: Adam walks the whole table
+        (op,) = [
+            op for op in graphs["word2vec"].ops_of_type("ApplyAdam")
+            if op.attrs.get("layer") == "embedding/table"
+        ]
+        assert "sparse_rows" not in op.attrs
+        assert op.cost.muls == 4 * 50000 * 200
+
+
+class TestDeterministicDropout:
+    """Dropout cost/energy derive purely from (graph, config, steps):
+    no schedule-time sampling, so fingerprints and results reproduce."""
+
+    def test_rebuilt_graph_has_identical_fingerprint(self):
+        from repro import api
+        from repro.sim import cache as sim_cache
+
+        system, policy = api.resolve_configuration("hetero-pim")
+        fingerprints = set()
+        for _ in range(2):
+            graph = build_model("transformer")
+            fingerprints.add(
+                sim_cache.run_fingerprint(graph, policy, system, 2)
+            )
+        assert len(fingerprints) == 1
+
+    def test_repeated_simulation_is_byte_identical(self):
+        from repro import api
+        from repro.sim.simulation import Simulation
+
+        system, policy = api.resolve_configuration("hetero-pim")
+        runs = [
+            Simulation(
+                build_model("transformer"), policy, config=system, steps=1
+            ).run().to_json()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
 
 
 class TestScale:

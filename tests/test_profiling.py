@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import UnclassifiedOpError
 from repro.nn.models import build_model
 from repro.profiling import (
     CACHE_LINE_BYTES,
@@ -11,6 +12,7 @@ from repro.profiling import (
     category_members,
     classify_workload,
     sample_counters,
+    unclassified_ops,
 )
 from repro.hardware.cpu import CpuModel
 from repro.config import default_config
@@ -129,3 +131,50 @@ class TestClassification:
                                      memory_share_threshold=0.99),
         )
         assert all(c is OpCategory.NEGLIGIBLE for c in strict.values())
+
+
+class TestUnknownOps:
+    """Regression: op types with no flop entry must never silently land
+    in the zero-flop buckets."""
+
+    def _profile_and_flops(self, model="alexnet"):
+        g = build_model(model)
+        profile = WorkloadProfiler().profile(g)
+        flops = {}
+        for op in g.ops:
+            flops[op.op_type] = flops.get(op.op_type, 0) + op.cost.flops
+        return profile, flops
+
+    def test_missing_entries_classify_as_cpu_fallback(self):
+        profile, flops = self._profile_and_flops()
+        del flops["Conv2DBackpropFilter"]
+        del flops["Relu"]
+        classes = classify_workload(profile, flops)
+        assert classes["Conv2DBackpropFilter"] is OpCategory.CPU_FALLBACK
+        assert classes["Relu"] is OpCategory.CPU_FALLBACK
+        assert unclassified_ops(classes) == 2
+        assert category_members(classes, OpCategory.CPU_FALLBACK) == [
+            "Conv2DBackpropFilter", "Relu",
+        ]
+
+    def test_strict_mode_raises_structured_error(self):
+        profile, flops = self._profile_and_flops()
+        del flops["Conv2DBackpropFilter"]
+        del flops["Relu"]
+        with pytest.raises(UnclassifiedOpError) as excinfo:
+            classify_workload(profile, flops, strict=True)
+        assert excinfo.value.op_types == ("Conv2DBackpropFilter", "Relu")
+        assert "Conv2DBackpropFilter" in str(excinfo.value)
+
+    def test_explicit_zero_flops_still_classifies_normally(self):
+        profile, flops = self._profile_and_flops()
+        flops["Reshape"] = 0
+        classes = classify_workload(profile, flops, strict=True)
+        assert classes["Reshape"] is not OpCategory.CPU_FALLBACK
+        assert unclassified_ops(classes) == 0
+
+    def test_complete_tables_have_no_fallback(self):
+        for model in ("alexnet", "transformer", "gnn", "embedrec"):
+            profile, flops = self._profile_and_flops(model)
+            classes = classify_workload(profile, flops, strict=True)
+            assert unclassified_ops(classes) == 0

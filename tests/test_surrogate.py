@@ -141,6 +141,53 @@ class TestFallback:
         assert report.surrogate is None
 
 
+class TestFamilyGuard:
+    """Regression: a CNN-only-trained surrogate must not let the
+    global-tier correction silently extrapolate onto a new workload
+    family — the query falls back to exact with a surfaced reason."""
+
+    def test_trained_calibration_names_recovers_the_grid(
+        self, private_cache
+    ):
+        _warm()
+        model, _ = train_from_cache(grid=GRID)
+        assert model.trained_calibration_names() == ("alexnet", "dcgan")
+
+    def test_estimate_run_raises_for_untrained_family(self, private_cache):
+        _warm()
+        model, _ = train_from_cache(grid=GRID)
+        graph = api.cached_graph("transformer")
+        system, policy = api.resolve_configuration("hetero-pim")
+        with pytest.raises(SurrogateUnavailable) as err:
+            estimate_run(graph, policy, system, model=model)
+        assert "transformer" in str(err.value)
+        assert "cnn" in str(err.value)
+
+    def test_api_simulate_surfaces_the_fallback_reason(self, private_cache):
+        _warm()
+        train_from_cache(grid=GRID)
+        report = api.simulate(
+            "gnn", "hetero-pim", steps=1, surrogate=True
+        )
+        assert report.surrogate["mode"] == "exact"
+        assert "trained domain" in report.surrogate["reason"]
+        assert "gnn" in report.surrogate["reason"]
+        # the fallback is a real simulation, not an extrapolation
+        assert report.result.events_processed > 0
+
+    def test_training_on_the_family_lifts_the_guard(self, private_cache):
+        grid = GRID + tuple(
+            ("gnn", config) for config in ("cpu", "gpu", "hetero-pim")
+        )
+        _warm(grid)
+        model, misses = train_from_cache(grid=grid)
+        assert misses == []
+        graph = api.cached_graph("gnn")
+        system, policy = api.resolve_configuration("hetero-pim")
+        est = estimate_run(graph, policy, system, model=model)
+        assert est.metrics["surrogate.estimated"] == 1.0
+
+
 class TestExperimentMode:
     def test_run_model_on_estimates_in_surrogate_mode(self, private_cache):
         _warm()

@@ -117,7 +117,9 @@ class TestInvariantsPass:
 class TestInvariantsPassProperty:
     @settings(max_examples=8, deadline=None)
     @given(
-        model=st.sampled_from(("dcgan", "alexnet")),
+        model=st.sampled_from(
+            ("dcgan", "alexnet", "transformer", "gnn", "embedrec")
+        ),
         config=st.sampled_from(
             ("cpu", "gpu", "prog-pim", "fixed-pim", "hetero-pim")
         ),
@@ -136,6 +138,30 @@ class TestInvariantsPassProperty:
         spec = FaultSpec.generate(seed=seed, horizon_s=0.5, n_events=n_events)
         sim, result = _run_live("dcgan", "hetero-pim", faults=spec)
         check_simulation(sim, result)
+
+
+class TestModernFamilyInvariants:
+    """The nine invariants hold for every new workload family under every
+    registered hardware backend."""
+
+    @pytest.mark.parametrize("model", ("transformer", "gnn", "embedrec"))
+    @pytest.mark.parametrize(
+        "backend,config",
+        (
+            ("hmc-hetero", "hetero-pim"),
+            ("gradpim", "gradpim"),
+            ("neurotrainer", "neurotrainer"),
+        ),
+    )
+    def test_families_pass_under_all_backends(self, model, backend, config):
+        graph = api.cached_graph(model)
+        system, policy = api.resolve_configuration(config, backend=backend)
+        sim = Simulation(
+            graph, policy, config=system, steps=1, record_timeline=True
+        )
+        result = sim.run()
+        check_simulation(sim, result)
+        assert list(iter_result_violations(result)) == []
 
 
 # ---------------------------------------------------------------------------

@@ -8,6 +8,12 @@ is missing from the summary — which happens when a benchmark silently
 stopped running (collection error, filename typo, stale summary from a
 partial run).
 
+It additionally requires one ``bench_families.py`` entry per modern
+workload family (transformer / gnn / embedrec): the family benchmark is
+parametrized per model, so a family silently dropping out of the sweep
+(renamed model, narrowed parametrization) is caught even though the
+module itself still appears covered.
+
 Usage: ``python tools/check_bench_summary.py [summary_path]``
 """
 
@@ -18,6 +24,10 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+
+#: One benchmark entry per modern workload family must be present
+#: (bench_families.py is parametrized over these models).
+FAMILY_MODELS = ("transformer", "gnn", "embedrec")
 
 
 def main() -> int:
@@ -40,6 +50,18 @@ def main() -> int:
         print(
             f"FAIL: BENCH_summary.json covers {len(covered)} of "
             f"{len(modules)} benchmark modules; missing: {', '.join(missing)}"
+        )
+        return 1
+    family_nodeids = [n for n in figures if "bench_families.py" in n]
+    missing_families = [
+        model
+        for model in FAMILY_MODELS
+        if not any(f"[{model}]" in n for n in family_nodeids)
+    ]
+    if missing_families:
+        print(
+            "FAIL: BENCH_summary.json has no bench_families entry for "
+            f"families: {', '.join(missing_families)}"
         )
         return 1
     print(

@@ -74,6 +74,13 @@ out.append(open(trace_path).read())
 sweep = faults_experiment.run(event_counts=(0, 2, 4), steps=2)
 out.append(faults_experiment.format_result(sweep))
 
+# one representative per modern workload family: dropout's deterministic
+# expectation-scaling and the gather/segment-sum vocabulary must reproduce
+# byte-for-byte across serial/parallel/warm-cache runs too
+for family_model in ("transformer", "gnn", "embedrec"):
+    run = api.simulate(family_model, "hetero-pim", steps=1)
+    out.append(run.result.to_json())
+
 with open(sys.argv[1], "w") as fh:
     fh.write("\\n".join(out))
 """
